@@ -1,0 +1,82 @@
+"""E7 -- relationship-based (collective) iterative ER vs attribute-only matching.
+
+Reproduces the qualitative result of collective ER on relational data: with a
+strict similarity threshold, attribute-only matching misses the noisy
+duplicate descriptions, while the collective process -- which re-prioritises
+and re-evaluates pairs whenever related descriptions are matched -- rescues a
+substantial fraction of them at no precision cost, yielding higher recall and
+F1.  The relational rescues count how many declared matches required the
+relational evidence.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.evaluation import evaluate_matches
+from repro.iterative import AttributeOnlyER, CollectiveER
+
+THRESHOLDS = (0.5, 0.6, 0.7)
+
+
+def test_collective_vs_attribute_only(benchmark, bibliographic_dataset):
+    collection = bibliographic_dataset.collection
+    truth = bibliographic_dataset.ground_truth
+
+    benchmark.pedantic(
+        lambda: CollectiveER(match_threshold=0.6, candidate_threshold=0.05).resolve(collection),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    results = {}
+    for threshold in THRESHOLDS:
+        attribute_only = AttributeOnlyER(match_threshold=threshold).resolve(collection)
+        collective = CollectiveER(
+            match_threshold=threshold, relationship_weight=0.4, candidate_threshold=0.05
+        ).resolve(collection)
+        attribute_quality = evaluate_matches(attribute_only.matched_pairs(), truth)
+        collective_quality = evaluate_matches(collective.matched_pairs(), truth)
+        results[threshold] = (attribute_quality, collective_quality, collective)
+        rows.append(
+            {
+                "threshold": threshold,
+                "method": "attribute-only",
+                "precision": attribute_quality.precision,
+                "recall": attribute_quality.recall,
+                "f1": attribute_quality.f1,
+                "rescues": 0,
+            }
+        )
+        rows.append(
+            {
+                "threshold": threshold,
+                "method": "collective",
+                "precision": collective_quality.precision,
+                "recall": collective_quality.recall,
+                "f1": collective_quality.f1,
+                "rescues": collective.relational_rescues,
+            }
+        )
+
+    save_table(
+        "E7_collective_er",
+        rows,
+        f"collective vs attribute-only ER on a publications+authors KB "
+        f"({len(collection)} descriptions, {truth.num_matches()} true matches)",
+        notes=(
+            "Expected shape: at strict thresholds collective ER recovers matches that attribute "
+            "similarity alone misses (relational rescues > 0), with higher recall and F1 at "
+            "essentially the same precision."
+        ),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    for threshold in (0.6, 0.7):
+        attribute_quality, collective_quality, collective = results[threshold]
+        assert collective.relational_rescues > 0
+        assert collective_quality.recall > attribute_quality.recall
+        assert collective_quality.f1 > attribute_quality.f1
+        assert collective_quality.precision >= attribute_quality.precision - 0.10

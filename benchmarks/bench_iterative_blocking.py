@@ -1,0 +1,89 @@
+"""E5 -- iterative blocking vs independent block processing.
+
+Reproduces the shape of the iterative-blocking evaluation: propagating merges
+across blocks (i) avoids re-comparing pairs that co-occur in several blocks
+and pairs already covered by earlier merges, so the total number of executed
+comparisons drops by an order of magnitude or more compared to processing
+every block in isolation, and (ii) lets the merged descriptions carry their
+combined evidence to other blocks, so matches split across blocks can be
+recovered (with an idealised match function the final partition is identical
+to the exhaustive one at a fraction of the cost; with a realistic similarity
+matcher the recall stays within a few points of the independent baseline while
+executing 20-50x fewer comparisons).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.blocking import BlockPurging, TokenBlocking
+from repro.evaluation import evaluate_matches
+from repro.iterative import IndependentBlockProcessing, IterativeBlocking
+from repro.matching import OracleMatcher, ProfileSimilarityMatcher
+
+
+def _similarity_matcher():
+    # the overlap coefficient is robust to merged descriptions (merging grows the
+    # token union, which dilutes Jaccard but barely affects the overlap coefficient)
+    return ProfileSimilarityMatcher(threshold=0.7, similarity_name="overlap")
+
+
+def test_iterative_blocking_vs_independent(benchmark, clustered_dirty_dataset):
+    collection = clustered_dirty_dataset.collection
+    truth = clustered_dirty_dataset.ground_truth
+    blocks = BlockPurging().process(TokenBlocking().build(collection))
+
+    benchmark.pedantic(
+        lambda: IterativeBlocking(OracleMatcher(truth)).resolve(collection, blocks),
+        rounds=1,
+        iterations=1,
+    )
+
+    rows = []
+    results = {}
+    for name, resolver in (
+        ("independent blocks (oracle)", IndependentBlockProcessing(OracleMatcher(truth))),
+        ("iterative blocking (oracle)", IterativeBlocking(OracleMatcher(truth))),
+        ("independent blocks (similarity matcher)", IndependentBlockProcessing(_similarity_matcher())),
+        ("iterative blocking (similarity matcher)", IterativeBlocking(_similarity_matcher())),
+    ):
+        result = resolver.resolve(collection, blocks)
+        quality = evaluate_matches(result.matched_pairs(), truth)
+        results[name] = (result, quality)
+        rows.append(
+            {
+                "method": name,
+                "comparisons": result.comparisons_executed,
+                "merges": result.merges,
+                "precision": quality.precision,
+                "recall": quality.recall,
+                "f1": quality.f1,
+            }
+        )
+
+    save_table(
+        "E5_iterative_blocking",
+        rows,
+        f"iterative blocking vs independent block processing "
+        f"({len(collection)} descriptions, {len(blocks)} blocks, "
+        f"{blocks.total_comparisons()} block comparisons)",
+        notes=(
+            "Expected shape: iterative blocking executes an order of magnitude fewer comparisons "
+            "(merges replace their sources everywhere, so redundant comparisons disappear); with "
+            "an idealised matcher it loses no recall, with a realistic similarity matcher the "
+            "recall stays within a few points of the independent baseline."
+        ),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    independent_oracle, independent_oracle_quality = results["independent blocks (oracle)"]
+    iterative_oracle, iterative_oracle_quality = results["iterative blocking (oracle)"]
+    assert iterative_oracle.comparisons_executed < 0.25 * independent_oracle.comparisons_executed
+    assert iterative_oracle_quality.recall >= independent_oracle_quality.recall - 1e-9
+
+    independent_sim, independent_sim_quality = results["independent blocks (similarity matcher)"]
+    iterative_sim, iterative_sim_quality = results["iterative blocking (similarity matcher)"]
+    assert iterative_sim.comparisons_executed < 0.25 * independent_sim.comparisons_executed
+    assert iterative_sim_quality.recall >= independent_sim_quality.recall - 0.05
+    assert iterative_sim_quality.precision >= independent_sim_quality.precision - 0.02

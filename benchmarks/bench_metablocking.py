@@ -1,0 +1,130 @@
+"""E3 -- meta-blocking: weighting schemes x pruning schemes.
+
+Reproduces the shape of the meta-blocking evaluation tables: every
+weighting/pruning combination prunes the large majority of the comparisons of
+the input block collection while retaining most of the matching pairs;
+node-centric pruning (WNP/CNP) retains more recall than edge-centric pruning
+(WEP/CEP) at a comparable or smaller comparison budget, and the
+reciprocal variants trade a little recall for better precision.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.evaluation import evaluate_blocks, evaluate_comparisons
+from repro.metablocking import MetaBlocking
+
+WEIGHTING_SCHEMES = ("CBS", "ECBS", "JS", "EJS", "ARCS")
+PRUNING_SCHEMES = ("WEP", "CEP", "WNP", "CNP", "ReciprocalCNP")
+
+
+@pytest.fixture(scope="module")
+def cleaned_blocks(dirty_dataset):
+    blocks = TokenBlocking().build(dirty_dataset.collection)
+    return BlockFiltering(0.8).process(BlockPurging().process(blocks))
+
+
+def test_metablocking_grid(benchmark, dirty_dataset, cleaned_blocks):
+    """Full weighting x pruning grid, evaluated against the ground truth."""
+    collection = dirty_dataset.collection
+    truth = dirty_dataset.ground_truth
+    input_quality = evaluate_blocks(cleaned_blocks, truth, collection)
+
+    benchmark.pedantic(
+        lambda: MetaBlocking("CBS", "WNP").weighted_comparisons(cleaned_blocks),
+        rounds=3,
+        iterations=1,
+    )
+
+    rows = [
+        {
+            "weighting": "(input blocks)",
+            "pruning": "-",
+            "comparisons": input_quality.num_comparisons,
+            "PC": input_quality.pair_completeness,
+            "PQ": input_quality.pairs_quality,
+            "kept %": 100.0,
+        }
+    ]
+    results = {}
+    for weighting in WEIGHTING_SCHEMES:
+        for pruning in PRUNING_SCHEMES:
+            metablocking = MetaBlocking(weighting, pruning)
+            comparisons = metablocking.weighted_comparisons(cleaned_blocks)
+            quality = evaluate_comparisons(comparisons, truth, collection)
+            results[(weighting, pruning)] = quality
+            rows.append(
+                {
+                    "weighting": weighting,
+                    "pruning": pruning,
+                    "comparisons": quality.num_comparisons,
+                    "PC": quality.pair_completeness,
+                    "PQ": quality.pairs_quality,
+                    "kept %": 100.0 * quality.num_comparisons / max(1, input_quality.num_comparisons),
+                }
+            )
+
+    save_table(
+        "E3_metablocking",
+        rows,
+        f"meta-blocking on cleaned token blocks ({input_quality.num_comparisons} input comparisons)",
+        notes=(
+            "Expected shape: all scheme combinations discard most comparisons while keeping most "
+            "matches; node-centric pruning (WNP/CNP) preserves more PC than edge-centric pruning "
+            "(WEP/CEP); reciprocal pruning trades PC for PQ."
+        ),
+    )
+    benchmark.extra_info["rows"] = rows
+
+    for (weighting, pruning), quality in results.items():
+        # every combination prunes comparisons and keeps the bulk of the recall
+        assert quality.num_comparisons < input_quality.num_comparisons
+        assert quality.pair_completeness >= 0.55, (weighting, pruning)
+        assert quality.pairs_quality >= input_quality.pairs_quality
+
+    for weighting in WEIGHTING_SCHEMES:
+        node_centric = results[(weighting, "CNP")]
+        edge_centric = results[(weighting, "CEP")]
+        assert node_centric.pair_completeness >= edge_centric.pair_completeness
+        # the reciprocal variant is more aggressive than plain CNP
+        reciprocal = results[(weighting, "ReciprocalCNP")]
+        assert reciprocal.num_comparisons <= node_centric.num_comparisons
+        assert reciprocal.pairs_quality >= node_centric.pairs_quality
+
+
+def test_metablocking_weighting_ablation(benchmark, dirty_dataset, cleaned_blocks):
+    """Ablation: how much the weighting scheme matters under a fixed pruning scheme."""
+    collection = dirty_dataset.collection
+    truth = dirty_dataset.ground_truth
+
+    def run_all():
+        return {
+            weighting: MetaBlocking(weighting, "WNP").weighted_comparisons(cleaned_blocks)
+            for weighting in WEIGHTING_SCHEMES
+        }
+
+    all_comparisons = benchmark.pedantic(run_all, rounds=1, iterations=1)
+    rows = []
+    for weighting, comparisons in all_comparisons.items():
+        quality = evaluate_comparisons(comparisons, truth, collection)
+        rows.append(
+            {
+                "weighting": weighting,
+                "pruning": "WNP",
+                "comparisons": quality.num_comparisons,
+                "PC": quality.pair_completeness,
+                "PQ": quality.pairs_quality,
+                "F": quality.f_measure,
+            }
+        )
+    save_table(
+        "E3_metablocking_weighting_ablation",
+        rows,
+        "weighting-scheme ablation under WNP pruning",
+        notes="All weighting schemes behave comparably; ARCS/ECBS favour small blocks slightly.",
+    )
+    benchmark.extra_info["rows"] = rows
+    assert all(row["PC"] >= 0.6 for row in rows)

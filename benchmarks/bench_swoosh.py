@@ -1,0 +1,69 @@
+"""E6 -- merging-based iterative ER: R-Swoosh vs the naive fixpoint baseline.
+
+Reproduces the classical Swoosh result shape: both strategies converge to the
+same partition of the input (same merges), but R-Swoosh needs a small fraction
+of the comparisons of the naive compare-all-pairs-until-fixpoint strategy, and
+the gap widens with the collection size and with the number of duplicates per
+entity.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from benchmarks.conftest import save_table
+from repro.datasets import DatasetConfig, generate_dirty_dataset
+from repro.evaluation import evaluate_matches
+from repro.iterative import NaivePairwiseER, RSwoosh
+from repro.matching import OracleMatcher
+
+SIZES = (40, 80, 120)
+
+
+def test_rswoosh_vs_naive(benchmark, clustered_dirty_dataset):
+    rows = []
+    for size in SIZES:
+        dataset = generate_dirty_dataset(
+            DatasetConfig(num_entities=size, duplicates_per_entity=2.0, seed=300 + size)
+        )
+        collection = dataset.collection
+        truth = dataset.ground_truth
+        swoosh = RSwoosh(OracleMatcher(truth)).resolve(collection)
+        naive = NaivePairwiseER(OracleMatcher(truth)).resolve(collection)
+        swoosh_quality = evaluate_matches(swoosh.matched_pairs(), truth)
+        naive_quality = evaluate_matches(naive.matched_pairs(), truth)
+        rows.append(
+            {
+                "descriptions": len(collection),
+                "true matches": truth.num_matches(),
+                "R-Swoosh comparisons": swoosh.comparisons_executed,
+                "naive comparisons": naive.comparisons_executed,
+                "saving factor": naive.comparisons_executed / max(1, swoosh.comparisons_executed),
+                "R-Swoosh recall": swoosh_quality.recall,
+                "naive recall": naive_quality.recall,
+            }
+        )
+        # both strategies reach the same partition
+        assert set(map(frozenset, swoosh.clusters)) == set(map(frozenset, naive.clusters))
+        assert swoosh.comparisons_executed < naive.comparisons_executed
+
+    # timing: R-Swoosh on the largest clustered dataset from the shared fixture
+    collection = clustered_dirty_dataset.collection
+    truth = clustered_dirty_dataset.ground_truth
+    benchmark.pedantic(
+        lambda: RSwoosh(OracleMatcher(truth)).resolve(collection), rounds=1, iterations=1
+    )
+
+    save_table(
+        "E6_swoosh",
+        rows,
+        "merging-based iterative ER: comparisons to reach the fixpoint",
+        notes=(
+            "Expected shape: identical final partitions, with R-Swoosh needing several times "
+            "fewer comparisons than the naive fixpoint; the saving factor grows with size."
+        ),
+    )
+    benchmark.extra_info["rows"] = rows
+    assert rows[-1]["saving factor"] > 3.0
+    assert rows[-1]["saving factor"] >= rows[0]["saving factor"]
+    assert all(row["R-Swoosh recall"] == 1.0 for row in rows)

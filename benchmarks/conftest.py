@@ -1,0 +1,80 @@
+"""Shared fixtures and helpers for the benchmark harness.
+
+Every benchmark regenerates one experiment of the DESIGN.md experiment index
+(E1-E10).  Besides the timing collected by pytest-benchmark, each benchmark
+prints its experiment table and writes it to ``benchmarks/results/<exp>.txt``
+so the numbers quoted in EXPERIMENTS.md can be re-derived with a single
+``pytest benchmarks/ --benchmark-only`` run.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Mapping, Sequence
+
+import pytest
+
+from repro.datasets import (
+    DatasetConfig,
+    generate_bibliographic_dataset,
+    generate_clean_clean_task,
+    generate_dirty_dataset,
+)
+from repro.datasets.corruption import CorruptionConfig
+from repro.evaluation.report import render_table
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def save_table(
+    experiment: str,
+    rows: Sequence[Mapping[str, object]],
+    title: str,
+    notes: str = "",
+) -> str:
+    """Render ``rows`` as a table, print it and persist it under benchmarks/results/."""
+    table = render_table(rows, title=f"[{experiment}] {title}")
+    if notes:
+        table = f"{table}\n\n{notes}"
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / f"{experiment}.txt").write_text(table + "\n", encoding="utf-8")
+    print("\n" + table)
+    return table
+
+
+@pytest.fixture(scope="session")
+def dirty_dataset():
+    """Medium dirty collection shared by several experiments (E1, E3, E8)."""
+    return generate_dirty_dataset(
+        DatasetConfig(num_entities=500, duplicates_per_entity=1.2, domain="person", seed=101)
+    )
+
+
+@pytest.fixture(scope="session")
+def heterogeneous_clean_clean():
+    """Clean--clean task with heterogeneous vocabularies and noisy values (E1, E10)."""
+    return generate_clean_clean_task(
+        DatasetConfig(
+            num_entities=400,
+            domain="person",
+            noise=CorruptionConfig.somehow_similar(),
+            missing_in_right=0.25,
+            seed=102,
+        )
+    )
+
+
+@pytest.fixture(scope="session")
+def clustered_dirty_dataset():
+    """Dirty collection with larger duplicate clusters (E5, E6, E9)."""
+    return generate_dirty_dataset(
+        DatasetConfig(num_entities=150, duplicates_per_entity=2.5, domain="person", seed=103)
+    )
+
+
+@pytest.fixture(scope="session")
+def bibliographic_dataset():
+    """Two-type relational KB for collective ER and scheduling (E7, E9)."""
+    return generate_bibliographic_dataset(
+        num_authors=40, num_publications=120, duplicates_per_publication=1.0, ambiguity=0.5, seed=104
+    )

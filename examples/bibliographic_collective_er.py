@@ -1,0 +1,108 @@
+"""Relationship-based (collective) iterative ER on a bibliographic KB.
+
+The workload contains two entity types -- publications and authors -- where
+author descriptions are noisy and frequently ambiguous (many distinct authors
+share a surname).  Attribute similarity alone either misses the noisy
+duplicates (strict threshold) or over-merges the ambiguous ones (permissive
+threshold).  Collective ER iterates: once two publication descriptions are
+matched on their attributes, the relational evidence ("authored matching
+publications") rescues the author pairs that attribute similarity alone could
+not resolve.
+
+The example also runs merging-based iterative ER (R-Swoosh) on the same
+collection and contrasts the number of comparisons with the naive
+pairwise-until-fixpoint baseline.
+
+Run with::
+
+    python examples/bibliographic_collective_er.py
+"""
+
+from repro.datasets import generate_bibliographic_dataset
+from repro.evaluation import evaluate_matches
+from repro.evaluation.report import render_table
+from repro.iterative import AttributeOnlyER, CollectiveER, NaivePairwiseER, RSwoosh
+from repro.matching import OracleMatcher
+
+
+def main() -> None:
+    dataset = generate_bibliographic_dataset(
+        num_authors=40, num_publications=120, duplicates_per_publication=1.0, ambiguity=0.5, seed=11
+    )
+    collection = dataset.collection
+    truth = dataset.ground_truth
+    authors = sum(1 for d in collection if "author/" in d.identifier)
+    publications = len(collection) - authors
+    print(
+        f"{publications} publication descriptions + {authors} author descriptions, "
+        f"{truth.num_matches()} true matching pairs\n"
+    )
+
+    # ------------------------------------------------------------------
+    # collective vs attribute-only, at a strict threshold
+    # ------------------------------------------------------------------
+    threshold = 0.6
+    rows = []
+    attribute_only = AttributeOnlyER(match_threshold=threshold).resolve(collection)
+    attribute_quality = evaluate_matches(attribute_only.matched_pairs(), truth)
+    rows.append(
+        {
+            "method": "attribute-only",
+            "similarity evals": attribute_only.comparisons_executed,
+            "precision": attribute_quality.precision,
+            "recall": attribute_quality.recall,
+            "f1": attribute_quality.f1,
+            "relational rescues": 0,
+        }
+    )
+    collective = CollectiveER(
+        match_threshold=threshold, relationship_weight=0.4, candidate_threshold=0.05
+    ).resolve(collection)
+    collective_quality = evaluate_matches(collective.matched_pairs(), truth)
+    rows.append(
+        {
+            "method": "collective (relationship-based)",
+            "similarity evals": collective.comparisons_executed,
+            "precision": collective_quality.precision,
+            "recall": collective_quality.recall,
+            "f1": collective_quality.f1,
+            "relational rescues": collective.relational_rescues,
+        }
+    )
+    print(render_table(rows, title=f"collective vs attribute-only ER (threshold {threshold})"))
+    print(
+        f"\n{collective.relational_rescues} pairs were declared matches only thanks to "
+        f"relational evidence propagated from previously matched publications, and "
+        f"{collective.requeue_events} queued pairs were re-prioritised by the update phase.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # merging-based iteration: R-Swoosh vs naive fixpoint
+    # ------------------------------------------------------------------
+    sample = collection.sample(150, seed=5)
+    sample_truth = truth.restricted_to(sample.identifiers)
+    swoosh = RSwoosh(OracleMatcher(sample_truth)).resolve(sample)
+    naive = NaivePairwiseER(OracleMatcher(sample_truth)).resolve(sample)
+    rows = [
+        {
+            "method": "R-Swoosh",
+            "comparisons": swoosh.comparisons_executed,
+            "merges": swoosh.merges,
+            "recall": evaluate_matches(swoosh.matched_pairs(), sample_truth).recall,
+        },
+        {
+            "method": "naive pairwise fixpoint",
+            "comparisons": naive.comparisons_executed,
+            "merges": naive.merges,
+            "recall": evaluate_matches(naive.matched_pairs(), sample_truth).recall,
+        },
+    ]
+    print(render_table(rows, title=f"merging-based iterative ER on {len(sample)} descriptions"))
+    print(
+        f"\nR-Swoosh reaches the same partition with "
+        f"{naive.comparisons_executed / max(1, swoosh.comparisons_executed):.1f}x fewer comparisons."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,79 @@
+"""Simulated MapReduce parallelisation of blocking and meta-blocking.
+
+The example runs token blocking and three-stage meta-blocking as MapReduce
+jobs on the in-process engine, sweeping the number of simulated workers and
+comparing the default hash partitioner with the skew-aware greedy balanced
+partitioner.  The reported *makespan* is the simulated parallel wall-clock
+time (maximum per-worker cost); *speedup* is sequential cost / makespan;
+*imbalance* is max / mean reducer cost -- the quantity dominated by the skewed
+block-size distribution of token blocking.
+
+Run with::
+
+    python examples/parallel_blocking_mapreduce.py
+"""
+
+from repro import DatasetConfig, generate_dirty_dataset
+from repro.evaluation.report import render_table
+from repro.mapreduce import (
+    GreedyBalancedPartitioner,
+    HashPartitioner,
+    MapReduceEngine,
+    ParallelMetaBlocking,
+    ParallelTokenBlocking,
+)
+
+
+def main() -> None:
+    dataset = generate_dirty_dataset(
+        DatasetConfig(num_entities=600, duplicates_per_entity=1.0, domain="person", seed=13)
+    )
+    collection = dataset.collection
+    print(f"{len(collection)} descriptions\n")
+
+    # ------------------------------------------------------------------
+    # parallel token blocking: scaling with the number of workers
+    # ------------------------------------------------------------------
+    rows = []
+    blocks = None
+    for workers in (1, 2, 4, 8, 16):
+        for partitioner in (HashPartitioner(), GreedyBalancedPartitioner()):
+            engine = MapReduceEngine(num_workers=workers, partitioner=partitioner)
+            blocks, stats = ParallelTokenBlocking().build(collection, engine)
+            rows.append(
+                {
+                    "workers": workers,
+                    "partitioner": partitioner.name,
+                    "makespan": stats.makespan,
+                    "speedup": stats.speedup,
+                    "imbalance": stats.reduce_imbalance,
+                }
+            )
+    print(render_table(rows, title="parallel token blocking (simulated)"))
+    print(
+        "\nwith the skew-oblivious hash partitioner a single reducer receives the "
+        "largest token blocks and limits the speedup; the greedy balanced "
+        "partitioner spreads them and stays close to linear scaling.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # parallel meta-blocking on the produced blocks
+    # ------------------------------------------------------------------
+    rows = []
+    for workers in (1, 4, 16):
+        engine = MapReduceEngine(num_workers=workers, partitioner=GreedyBalancedPartitioner())
+        edges, stages = ParallelMetaBlocking("CBS", "WNP").run(blocks, engine)
+        rows.append(
+            {
+                "workers": workers,
+                "retained edges": len(edges),
+                "stage makespans": " + ".join(f"{s.makespan:.0f}" for s in stages),
+                "total makespan": sum(s.makespan for s in stages),
+                "speedup": sum(s.sequential_cost for s in stages) / max(1e-9, sum(s.makespan for s in stages)),
+            }
+        )
+    print(render_table(rows, title="three-stage parallel meta-blocking (CBS + WNP)"))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,88 @@
+"""Pay-as-you-go entity resolution under a limited comparison budget.
+
+The example compares progressive schedulers on the same dirty collection and
+budget: the non-progressive baseline (random order over the blocking output),
+the meta-blocking weight order, the sorted-list hint with incrementally
+widening windows, the progressive sorted neighbourhood with local lookahead,
+and progressive block scheduling.  For each scheduler it reports how many true
+matches were found within the budget, the recall at several budget fractions
+and the area under the progressive-recall curve.
+
+Run with::
+
+    python examples/progressive_pay_as_you_go.py
+"""
+
+from repro import DatasetConfig, generate_dirty_dataset
+from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.evaluation.report import render_table
+from repro.matching import ProfileSimilarityMatcher
+from repro.metablocking import MetaBlocking
+from repro.progressive import (
+    ProgressiveBlockScheduler,
+    ProgressiveSortedNeighborhood,
+    RandomOrderScheduler,
+    SortedListScheduler,
+    WeightOrderScheduler,
+    run_progressive,
+)
+
+
+def main() -> None:
+    dataset = generate_dirty_dataset(
+        DatasetConfig(num_entities=400, duplicates_per_entity=1.2, domain="person", seed=3)
+    )
+    collection = dataset.collection
+    truth = dataset.ground_truth
+
+    # candidate comparisons: cleaned token blocks (shared by all schedulers)
+    blocks = BlockFiltering(0.8).process(BlockPurging().process(TokenBlocking().build(collection)))
+    weighted = MetaBlocking("ARCS", "CNP").weighted_comparisons(blocks)
+
+    budget = 3000
+    matcher_factory = lambda: ProfileSimilarityMatcher(threshold=0.45)
+    print(
+        f"{len(collection)} descriptions, {truth.num_matches()} true matches, "
+        f"{blocks.num_distinct_comparisons()} candidate comparisons, budget={budget}\n"
+    )
+
+    schedulers = [
+        ("random order (baseline)", RandomOrderScheduler(seed=1), blocks),
+        ("meta-blocking weight order", WeightOrderScheduler(), weighted),
+        ("sorted list (widening windows)", SortedListScheduler(restrict_to_candidates=False), blocks),
+        ("progressive SN + lookahead", ProgressiveSortedNeighborhood(), blocks),
+        ("progressive block scheduling", ProgressiveBlockScheduler(), blocks),
+    ]
+
+    rows = []
+    for name, scheduler, candidates in schedulers:
+        result = run_progressive(
+            scheduler,
+            matcher_factory(),
+            collection,
+            candidates,
+            budget=budget,
+            ground_truth=truth,
+        )
+        curve = result.curve
+        rows.append(
+            {
+                "scheduler": name,
+                "comparisons": result.comparisons_executed,
+                "matches": result.true_matches_found,
+                "recall@25%": curve.recall_at(budget // 4),
+                "recall@50%": curve.recall_at(budget // 2),
+                "recall@100%": curve.final_recall(),
+                "AUC": curve.auc(),
+            }
+        )
+
+    print(render_table(rows, title=f"progressive recall under a budget of {budget} comparisons"))
+    print(
+        "\nprogressive schedulers find most matches early: compare the recall at "
+        "25% of the budget with the random-order baseline."
+    )
+
+
+if __name__ == "__main__":
+    main()

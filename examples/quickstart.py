@@ -1,0 +1,55 @@
+"""Quickstart: resolve a dirty collection end-to-end with the default workflow.
+
+The example generates a synthetic "dirty" knowledge base (every real-world
+entity is described by one clean and several noisy descriptions), runs the
+default ER workflow of the tutorial's Figure 1 -- token blocking, block
+cleaning, meta-blocking, weight-ordered scheduling, TF-IDF profile matching,
+connected-components clustering -- and prints the per-stage report plus the
+final blocking and matching quality against the known ground truth.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from repro import DatasetConfig, default_workflow, generate_dirty_dataset
+
+
+def main() -> None:
+    # 1. generate a workload: 400 real-world entities, ~1 noisy duplicate each
+    dataset = generate_dirty_dataset(
+        DatasetConfig(num_entities=400, duplicates_per_entity=1.0, domain="person", seed=42)
+    )
+    collection = dataset.collection
+    print(
+        f"generated {len(collection)} descriptions of {dataset.config.num_entities} "
+        f"real-world entities ({dataset.ground_truth.num_matches()} matching pairs)"
+    )
+    print(f"exhaustive ER would need {collection.total_comparisons()} comparisons\n")
+
+    # 2. run the default end-to-end workflow
+    workflow = default_workflow()
+    print(f"pipeline: {workflow.config.describe()}\n")
+    result = workflow.run(collection, dataset.ground_truth)
+
+    # 3. inspect the outcome
+    print(result.summary())
+    print()
+    savings = 1 - result.comparisons_executed / collection.total_comparisons()
+    print(
+        f"executed {result.comparisons_executed} comparisons "
+        f"({savings:.1%} fewer than the exhaustive solution) "
+        f"and found {result.matching_quality.num_correct} of "
+        f"{dataset.ground_truth.num_matches()} true matches"
+    )
+
+    # 4. look at a resolved cluster
+    largest = max(result.clusters, key=len)
+    print("\nlargest resolved cluster:")
+    for identifier in sorted(largest):
+        description = collection.get(identifier)
+        print(f"  {identifier}: {description.text()[:70]}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,89 @@
+"""Clean--clean ER across two heterogeneous synthetic KBs.
+
+This example reproduces the motivating scenario of the tutorial: two
+autonomous knowledge bases describe overlapping sets of real-world entities
+with different vocabularies (most attribute names differ), partial attribute
+coverage and noisy values.  The goal is to interlink them (owl:sameAs style)
+without a common schema.
+
+The script compares three blocking schemes -- schema-aware standard blocking,
+schema-agnostic token blocking, and attribute-clustering blocking -- and then
+runs the full pipeline (token blocking + meta-blocking + TF-IDF matching),
+reporting PC/PQ/RR per stage and the final linkage quality.
+
+Run with::
+
+    python examples/web_of_data_integration.py
+"""
+
+from repro import DatasetConfig, default_workflow, generate_clean_clean_task
+from repro.blocking import (
+    AttributeClusteringBlocking,
+    StandardBlocking,
+    TokenBlocking,
+    attribute_key,
+)
+from repro.datasets.corruption import CorruptionConfig
+from repro.evaluation import evaluate_blocks
+from repro.evaluation.report import render_table
+
+
+def main() -> None:
+    # two KBs derived from the same universe of people, with different
+    # vocabularies and the high-noise "somehow similar" corruption profile
+    dataset = generate_clean_clean_task(
+        DatasetConfig(
+            num_entities=400,
+            domain="person",
+            noise=CorruptionConfig.somehow_similar(),
+            missing_in_right=0.25,
+            seed=7,
+        )
+    )
+    task = dataset.task
+    print(
+        f"kbA: {len(task.left)} descriptions, kbB: {len(task.right)} descriptions, "
+        f"{dataset.ground_truth.num_matches()} true links, "
+        f"{task.total_comparisons()} exhaustive comparisons"
+    )
+    print(f"kbA attributes: {', '.join(task.left.attribute_names()[:8])} ...")
+    print(f"kbB attributes: {', '.join(task.right.attribute_names()[:8])} ...\n")
+
+    # ------------------------------------------------------------------
+    # compare blocking schemes on heterogeneous data
+    # ------------------------------------------------------------------
+    schemes = [
+        ("standard (name prefix)", StandardBlocking([attribute_key(["name"], length=6)])),
+        ("token blocking", TokenBlocking()),
+        ("attribute clustering", AttributeClusteringBlocking()),
+    ]
+    rows = []
+    for name, builder in schemes:
+        blocks = builder.build(task)
+        quality = evaluate_blocks(blocks, dataset.ground_truth, task)
+        rows.append(
+            {
+                "scheme": name,
+                "blocks": len(blocks),
+                "comparisons": quality.num_comparisons,
+                "PC": quality.pair_completeness,
+                "PQ": quality.pairs_quality,
+                "RR": quality.reduction_ratio,
+            }
+        )
+    print(render_table(rows, title="blocking schemes on two heterogeneous KBs"))
+    print(
+        "\nschema-aware blocking misses links because the two KBs rarely share "
+        "attribute names; schema-agnostic schemes keep pair completeness high.\n"
+    )
+
+    # ------------------------------------------------------------------
+    # full pipeline
+    # ------------------------------------------------------------------
+    workflow = default_workflow(match_threshold=0.5)
+    result = workflow.run(task, dataset.ground_truth)
+    print(result.summary())
+
+
+if __name__ == "__main__":
+    main()

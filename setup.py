@@ -1,0 +1,9 @@
+"""Setuptools entry point.
+
+Kept alongside pyproject.toml so that editable installs work in offline
+environments without the ``wheel`` package (``pip install -e . --no-use-pep517``).
+"""
+
+from setuptools import setup
+
+setup()

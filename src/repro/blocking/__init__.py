@@ -1,0 +1,83 @@
+"""Blocking schemes for entity resolution (Section II of the tutorial).
+
+The package covers three families:
+
+* **Traditional, schema-aware schemes** for relational records --
+  :class:`~repro.blocking.standard.StandardBlocking`,
+  :class:`~repro.blocking.standard.QGramsBlocking`,
+  :class:`~repro.blocking.standard.ExtendedQGramsBlocking`,
+  :class:`~repro.blocking.standard.SuffixArrayBlocking`,
+  :class:`~repro.blocking.sorted_neighborhood.SortedNeighborhoodBlocking`,
+  :class:`~repro.blocking.canopy.CanopyClusteringBlocking`.
+* **Schema-agnostic schemes** for the Web of data --
+  :class:`~repro.blocking.token_blocking.TokenBlocking`,
+  :class:`~repro.blocking.token_blocking.AttributeClusteringBlocking`,
+  :class:`~repro.blocking.token_blocking.PrefixInfixSuffixBlocking`,
+  :class:`~repro.blocking.similarity_join.SimilarityJoinBlocking`,
+  :class:`~repro.blocking.minhash.MinHashLSHBlocking`,
+  :class:`~repro.blocking.multiblock.MultidimensionalBlocking`.
+* **Block cleaning** -- :class:`~repro.blocking.cleaning.BlockPurging`,
+  :class:`~repro.blocking.cleaning.BlockFiltering`,
+  :class:`~repro.blocking.cleaning.ComparisonPropagation`.
+"""
+
+from repro.blocking.base import Block, BlockBuilder, BlockCollection
+from repro.blocking.canopy import CanopyClusteringBlocking
+from repro.blocking.cleaning import (
+    BlockFiltering,
+    BlockPurging,
+    ComparisonPropagation,
+    clean_blocks,
+)
+from repro.blocking.minhash import MinHashLSHBlocking, MinHashSignature
+from repro.blocking.multiblock import MultidimensionalBlocking
+from repro.blocking.similarity_join import SimilarityJoinBlocking
+from repro.blocking.sorted_neighborhood import (
+    ExtendedSortedNeighborhoodBlocking,
+    SortedNeighborhoodBlocking,
+    sorted_order,
+)
+from repro.blocking.standard import (
+    ExtendedQGramsBlocking,
+    QGramsBlocking,
+    StandardBlocking,
+    SuffixArrayBlocking,
+    attribute_key,
+    soundex,
+    soundex_key,
+)
+from repro.blocking.token_blocking import (
+    AttributeClusteringBlocking,
+    PrefixInfixSuffixBlocking,
+    TokenBlocking,
+    cluster_attributes,
+)
+
+__all__ = [
+    "AttributeClusteringBlocking",
+    "Block",
+    "BlockBuilder",
+    "BlockCollection",
+    "BlockFiltering",
+    "BlockPurging",
+    "CanopyClusteringBlocking",
+    "ComparisonPropagation",
+    "ExtendedQGramsBlocking",
+    "ExtendedSortedNeighborhoodBlocking",
+    "MinHashLSHBlocking",
+    "MinHashSignature",
+    "MultidimensionalBlocking",
+    "PrefixInfixSuffixBlocking",
+    "QGramsBlocking",
+    "SimilarityJoinBlocking",
+    "SortedNeighborhoodBlocking",
+    "StandardBlocking",
+    "SuffixArrayBlocking",
+    "TokenBlocking",
+    "attribute_key",
+    "clean_blocks",
+    "cluster_attributes",
+    "sorted_order",
+    "soundex",
+    "soundex_key",
+]

@@ -1,0 +1,108 @@
+"""Canopy clustering blocking.
+
+Canopy clustering builds overlapping blocks ("canopies") with a cheap
+similarity measure and two thresholds: descriptions within the *tight*
+threshold of a canopy centre are removed from the candidate pool, while
+descriptions within the *loose* threshold are added to the canopy but remain
+candidates for other canopies.  It is the classical cheap-similarity blocking
+baseline for records without a reliable blocking key.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
+from repro.datamodel.collection import CleanCleanTask
+from repro.datamodel.description import EntityDescription
+from repro.text.similarity import jaccard_similarity
+from repro.text.tokenize import DEFAULT_STOP_WORDS, token_set
+
+
+class CanopyClusteringBlocking(BlockBuilder):
+    """Canopy clustering over token sets with Jaccard as the cheap similarity.
+
+    Parameters
+    ----------
+    loose_threshold:
+        Similarity above which a description joins the current canopy.
+    tight_threshold:
+        Similarity above which a description is additionally removed from the
+        candidate pool (must be ``>= loose_threshold``).
+    seed:
+        Seed for the canopy-centre selection order.
+    """
+
+    name = "canopy"
+
+    def __init__(
+        self,
+        loose_threshold: float = 0.25,
+        tight_threshold: float = 0.6,
+        stop_words=DEFAULT_STOP_WORDS,
+        min_token_length: int = 2,
+        seed: int = 0,
+    ) -> None:
+        if tight_threshold < loose_threshold:
+            raise ValueError("tight threshold must be >= loose threshold")
+        self.loose_threshold = loose_threshold
+        self.tight_threshold = tight_threshold
+        self.stop_words = frozenset(stop_words) if stop_words else frozenset()
+        self.min_token_length = min_token_length
+        self.seed = seed
+
+    def _tokens(self, description: EntityDescription) -> Set[str]:
+        return token_set(
+            description.values(),
+            stop_words=self.stop_words,
+            min_length=self.min_token_length,
+        )
+
+    def build(self, data: ERInput) -> BlockCollection:
+        descriptions = list(self._iter_with_side(data))
+        token_index: Dict[str, Set[str]] = {
+            description.identifier: self._tokens(description)
+            for _, description in descriptions
+        }
+        side_of: Dict[str, str] = {
+            description.identifier: side for side, description in descriptions
+        }
+
+        rng = random.Random(self.seed)
+        pool: List[str] = [description.identifier for _, description in descriptions]
+        rng.shuffle(pool)
+        remaining: Set[str] = set(pool)
+
+        collection = BlockCollection(name=self.name)
+        bilateral = isinstance(data, CleanCleanTask)
+        canopy_index = 0
+
+        for center in pool:
+            if center not in remaining:
+                continue
+            remaining.discard(center)
+            center_tokens = token_index[center]
+            members = [center]
+            removed: List[str] = []
+            for candidate in list(remaining):
+                similarity = jaccard_similarity(center_tokens, token_index[candidate])
+                if similarity >= self.loose_threshold:
+                    members.append(candidate)
+                    if similarity >= self.tight_threshold:
+                        removed.append(candidate)
+            for candidate in removed:
+                remaining.discard(candidate)
+
+            if len(members) < 2:
+                continue
+            key = f"canopy:{canopy_index}"
+            canopy_index += 1
+            if bilateral:
+                left = [m for m in members if side_of[m] == "left"]
+                right = [m for m in members if side_of[m] == "right"]
+                if left and right:
+                    collection.add(Block(key, left_members=left, right_members=right))
+            else:
+                collection.add(Block(key, members=members))
+        return collection

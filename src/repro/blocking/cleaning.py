@@ -1,0 +1,182 @@
+"""Block-collection cleaning: purging, filtering and comparison propagation.
+
+These are the block-level and comparison-level techniques the tutorial refers
+to as "different ways for discarding comparisons that do not lead to matches",
+applied between blocking and matching (and before meta-blocking):
+
+* **Block purging** removes the largest blocks -- those whose cardinality
+  exceeds a bound derived from the collection -- because oversized blocks are
+  dominated by redundant and superfluous comparisons.
+* **Block filtering** keeps, for every description, only the ``ratio`` portion
+  of its smallest blocks, removing it from its largest (least informative)
+  blocks.
+* **Comparison propagation** eliminates all redundant comparisons (pairs
+  co-occurring in several blocks) without any loss of recall, by keeping a
+  pair only in its least-common block (implemented here by global pair
+  deduplication).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.blocking.base import Block, BlockCollection
+
+
+class BlockPurging:
+    """Remove oversized blocks whose cardinality exceeds an adaptive bound.
+
+    Oversized blocks -- typically produced by stop-word-like tokens shared by
+    a large fraction of the collection -- contribute the bulk of the
+    comparisons while carrying almost no matching evidence.  The adaptive
+    bound is placed just below the largest multiplicative gap in the upper
+    tail of the block-cardinality distribution (see
+    :meth:`_adaptive_threshold`); a fixed bound can be supplied instead via
+    ``max_comparisons``.
+
+    Parameters
+    ----------
+    smoothing_factor:
+        Minimum relative gap (ratio between consecutive distinct block
+        cardinalities) that is considered an outlier boundary; below it no
+        block is purged.
+    max_comparisons:
+        Fixed cardinality bound overriding the adaptive one.
+    """
+
+    def __init__(self, smoothing_factor: float = 2.0, max_comparisons: Optional[int] = None) -> None:
+        self.smoothing_factor = smoothing_factor
+        self.max_comparisons = max_comparisons
+
+    def _adaptive_threshold(self, blocks: BlockCollection) -> int:
+        """Compute the purging threshold from the block-cardinality distribution.
+
+        Oversized blocks (produced by extremely frequent tokens) are separated
+        from the useful ones by a large multiplicative gap in the upper tail of
+        the cardinality distribution.  The threshold is therefore set just
+        below the largest relative gap between consecutive distinct
+        cardinalities in the upper half of the distribution, provided that gap
+        exceeds the smoothing factor; if the distribution has no such gap
+        (i.e. block sizes grow smoothly) nothing is purged.
+        """
+        cardinalities = sorted(block.num_comparisons() for block in blocks)
+        if not cardinalities:
+            return 0
+        distinct = sorted(set(cardinalities))
+        if len(distinct) < 2:
+            return distinct[-1]
+
+        median = cardinalities[len(cardinalities) // 2]
+        best_gap_ratio = 0.0
+        threshold = distinct[-1]
+        for lower, upper in zip(distinct, distinct[1:]):
+            if upper <= median or lower <= 0:
+                continue
+            gap_ratio = upper / lower
+            if gap_ratio > best_gap_ratio:
+                best_gap_ratio = gap_ratio
+                threshold = lower
+        if best_gap_ratio < self.smoothing_factor:
+            return distinct[-1]
+        return threshold
+
+    def process(self, blocks: BlockCollection) -> BlockCollection:
+        if len(blocks) == 0:
+            return BlockCollection(name=f"{blocks.name}/purged")
+        if self.max_comparisons is not None:
+            threshold = self.max_comparisons
+        else:
+            threshold = self._adaptive_threshold(blocks)
+        kept = [block for block in blocks if block.num_comparisons() <= threshold]
+        return BlockCollection(kept, name=f"{blocks.name}/purged")
+
+
+class BlockFiltering:
+    """Keep each description only in the ``ratio`` fraction of its smallest blocks.
+
+    For every description, its blocks are ranked by increasing cardinality and
+    only the top ``ceil(ratio * |blocks|)`` are retained for that description;
+    the description is removed from the rest.  Blocks that become degenerate
+    (fewer than two members, or an empty side) are dropped.
+    """
+
+    def __init__(self, ratio: float = 0.8) -> None:
+        if not 0.0 < ratio <= 1.0:
+            raise ValueError("ratio must be in (0, 1]")
+        self.ratio = ratio
+
+    def process(self, blocks: BlockCollection) -> BlockCollection:
+        if len(blocks) == 0:
+            return BlockCollection(name=f"{blocks.name}/filtered")
+        cardinalities = [block.num_comparisons() for block in blocks]
+        entity_index = blocks.entity_index()
+
+        # per description: which blocks it is allowed to stay in
+        allowed: Dict[str, Set[int]] = {}
+        for identifier, block_indices in entity_index.items():
+            ranked = sorted(block_indices, key=lambda i: (cardinalities[i], i))
+            keep = max(1, math.ceil(self.ratio * len(ranked)))
+            allowed[identifier] = set(ranked[:keep])
+
+        filtered = BlockCollection(name=f"{blocks.name}/filtered")
+        for index, block in enumerate(blocks):
+            keep_ids = {
+                identifier
+                for identifier in block.members
+                if index in allowed.get(identifier, ())
+            }
+            restricted = block.restricted_to(keep_ids)
+            if restricted is not None:
+                filtered.add(restricted)
+        return filtered
+
+
+class ComparisonPropagation:
+    """Eliminate redundant comparisons: each distinct pair is compared exactly once.
+
+    The result is a block collection with one (two-member) block per distinct
+    pair, preserving pair completeness exactly while reducing the aggregate
+    cardinality to the number of distinct comparisons.
+    """
+
+    def process(self, blocks: BlockCollection) -> BlockCollection:
+        deduplicated = BlockCollection(name=f"{blocks.name}/propagated")
+        seen: Set[Tuple[str, str]] = set()
+        for block in blocks:
+            bilateral = block.is_bilateral
+            left_set = set(block.left_members)
+            for comparison in block.comparisons():
+                if comparison.pair in seen:
+                    continue
+                seen.add(comparison.pair)
+                first, second = comparison.pair
+                if bilateral:
+                    if first in left_set:
+                        deduplicated.add(
+                            Block(f"pair:{first}|{second}", left_members=[first], right_members=[second])
+                        )
+                    else:
+                        deduplicated.add(
+                            Block(f"pair:{first}|{second}", left_members=[second], right_members=[first])
+                        )
+                else:
+                    deduplicated.add(Block(f"pair:{first}|{second}", members=[first, second]))
+        return deduplicated
+
+
+def clean_blocks(
+    blocks: BlockCollection,
+    purging: Optional[BlockPurging] = None,
+    filtering: Optional[BlockFiltering] = None,
+    propagate: bool = False,
+) -> BlockCollection:
+    """Convenience pipeline: purging, then filtering, then optional propagation."""
+    result = blocks
+    if purging is not None:
+        result = purging.process(result)
+    if filtering is not None:
+        result = filtering.process(result)
+    if propagate:
+        result = ComparisonPropagation().process(result)
+    return result

@@ -1,0 +1,125 @@
+"""MinHash / LSH blocking: approximate similarity-join blocking.
+
+The similarity-join view of blocking ("identify all pairs of descriptions
+whose string values similarities are above a certain threshold ... without
+computing the similarity of all pairs") can also be realised approximately
+with locality-sensitive hashing: each description's token set is summarised by
+a MinHash signature, the signature is split into bands, and two descriptions
+co-occur in a block whenever they agree on all rows of at least one band.  The
+probability of sharing a band is ``1 - (1 - s^r)^b`` for Jaccard similarity
+``s``, ``b`` bands and ``r`` rows per band, which approximates a step function
+around the similarity threshold ``(1/b)^(1/r)``.
+
+Compared to the exact prefix-filtering join (:mod:`repro.blocking.similarity_join`)
+LSH blocking trades exactness for an indexing cost that is linear in the
+number of descriptions and independent of the pair-similarity distribution.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
+from repro.datamodel.description import EntityDescription
+from repro.text.tokenize import DEFAULT_STOP_WORDS, token_set
+
+_MERSENNE_PRIME = (1 << 61) - 1
+_MAX_HASH = (1 << 32) - 1
+
+
+def _token_hash(token: str) -> int:
+    """Stable 32-bit hash of a token (Python's ``hash`` is salted per process)."""
+    digest = hashlib.md5(token.encode("utf-8")).digest()
+    return int.from_bytes(digest[:4], "big")
+
+
+class MinHashSignature:
+    """A family of ``num_hashes`` universal hash functions producing MinHash signatures."""
+
+    def __init__(self, num_hashes: int = 64, seed: int = 1) -> None:
+        if num_hashes < 1:
+            raise ValueError("num_hashes must be positive")
+        import random
+
+        rng = random.Random(seed)
+        self.num_hashes = num_hashes
+        self._coefficients_a = [rng.randint(1, _MERSENNE_PRIME - 1) for _ in range(num_hashes)]
+        self._coefficients_b = [rng.randint(0, _MERSENNE_PRIME - 1) for _ in range(num_hashes)]
+
+    def signature(self, tokens: Iterable[str]) -> Tuple[int, ...]:
+        """MinHash signature of a token set (all-``MAX_HASH`` for the empty set)."""
+        hashed = [_token_hash(token) for token in tokens]
+        if not hashed:
+            return tuple([_MAX_HASH] * self.num_hashes)
+        signature = []
+        for a, b in zip(self._coefficients_a, self._coefficients_b):
+            signature.append(min(((a * value + b) % _MERSENNE_PRIME) & _MAX_HASH for value in hashed))
+        return tuple(signature)
+
+    @staticmethod
+    def estimate_jaccard(first: Sequence[int], second: Sequence[int]) -> float:
+        """Estimated Jaccard similarity: fraction of agreeing signature positions."""
+        if not first or len(first) != len(second):
+            raise ValueError("signatures must be non-empty and of equal length")
+        agreements = sum(1 for a, b in zip(first, second) if a == b)
+        return agreements / len(first)
+
+
+class MinHashLSHBlocking(BlockBuilder):
+    """LSH banding over MinHash signatures of the descriptions' token sets.
+
+    Parameters
+    ----------
+    num_bands, rows_per_band:
+        The signature has ``num_bands * rows_per_band`` positions; two
+        descriptions co-occur whenever one band of their signatures is
+        identical.  The implied similarity threshold is roughly
+        ``(1 / num_bands) ** (1 / rows_per_band)``.
+    seed:
+        Seed of the hash family (fixed for reproducibility).
+    """
+
+    name = "minhash_lsh"
+
+    def __init__(
+        self,
+        num_bands: int = 16,
+        rows_per_band: int = 4,
+        stop_words=DEFAULT_STOP_WORDS,
+        min_token_length: int = 2,
+        seed: int = 1,
+    ) -> None:
+        if num_bands < 1 or rows_per_band < 1:
+            raise ValueError("num_bands and rows_per_band must be positive")
+        self.num_bands = num_bands
+        self.rows_per_band = rows_per_band
+        self.stop_words = frozenset(stop_words) if stop_words else frozenset()
+        self.min_token_length = min_token_length
+        self._minhash = MinHashSignature(num_hashes=num_bands * rows_per_band, seed=seed)
+
+    @property
+    def approximate_threshold(self) -> float:
+        """The Jaccard similarity at which the banding curve crosses ~50% recall."""
+        return (1.0 / self.num_bands) ** (1.0 / self.rows_per_band)
+
+    def tokens_of(self, description: EntityDescription) -> Set[str]:
+        return token_set(
+            description.values(),
+            stop_words=self.stop_words,
+            min_length=self.min_token_length,
+        )
+
+    def build(self, data: ERInput) -> BlockCollection:
+        key_index: Dict[str, Dict[str, List[str]]] = {}
+        for side, description in self._iter_with_side(data):
+            tokens = self.tokens_of(description)
+            if not tokens:
+                continue
+            signature = self._minhash.signature(tokens)
+            for band in range(self.num_bands):
+                start = band * self.rows_per_band
+                band_values = signature[start : start + self.rows_per_band]
+                key = f"b{band}:" + "-".join(str(v) for v in band_values)
+                key_index.setdefault(key, {}).setdefault(side, []).append(description.identifier)
+        return self._blocks_from_key_index(key_index, data, name=self.name)

@@ -1,0 +1,190 @@
+"""String-similarity-join blocking (prefix filtering / AllPairs--PPJoin style).
+
+The tutorial describes an alternative blocking approach that "constructs
+blocks by identifying all pairs of descriptions whose string values
+similarities are above a certain threshold ... without computing the
+similarity of all pairs" by building an inverted index over tokens.  This
+module implements the classical prefix-filtering similarity join:
+
+1. tokens are globally ordered from rarest to most frequent;
+2. each description only indexes the *prefix* of its sorted token list (long
+   enough that two descriptions whose prefixes are disjoint cannot reach the
+   similarity threshold);
+3. candidate pairs are generated from the inverted index on prefix tokens,
+   and verified with the exact set similarity (Jaccard here);
+4. verified pairs become (tiny, two-member) blocks.
+
+The positional filter of PPJoin is applied on top of plain prefix filtering to
+discard candidates whose maximum possible overlap is already too small.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
+from repro.datamodel.collection import CleanCleanTask
+from repro.datamodel.description import EntityDescription
+from repro.datamodel.pairs import canonical_pair
+from repro.text.similarity import jaccard_similarity
+from repro.text.tokenize import DEFAULT_STOP_WORDS, token_set
+
+
+def _required_overlap(size_a: int, size_b: int, threshold: float) -> float:
+    """Minimum token overlap two sets must share to reach Jaccard ``threshold``."""
+    return threshold / (1.0 + threshold) * (size_a + size_b)
+
+
+def _prefix_length(size: int, threshold: float) -> int:
+    """Prefix-filtering length for a record of ``size`` tokens at Jaccard ``threshold``."""
+    return size - int(math.ceil(size * threshold)) + 1
+
+
+class SimilarityJoinBlocking(BlockBuilder):
+    """Self- or cross-join of descriptions with Jaccard similarity above a threshold.
+
+    Parameters
+    ----------
+    threshold:
+        Jaccard similarity threshold in (0, 1]; pairs at or above it become blocks.
+    use_positional_filter:
+        Whether to additionally apply PPJoin's positional filter, which
+        tightens the candidate set without changing the result.
+    stop_words, min_token_length:
+        Tokenisation options, identical to token blocking so results are
+        comparable.
+    """
+
+    name = "similarity_join"
+
+    def __init__(
+        self,
+        threshold: float = 0.5,
+        use_positional_filter: bool = True,
+        stop_words=DEFAULT_STOP_WORDS,
+        min_token_length: int = 2,
+    ) -> None:
+        if not 0.0 < threshold <= 1.0:
+            raise ValueError("threshold must be in (0, 1]")
+        self.threshold = threshold
+        self.use_positional_filter = use_positional_filter
+        self.stop_words = frozenset(stop_words) if stop_words else frozenset()
+        self.min_token_length = min_token_length
+        #: populated by :meth:`build`; statistics useful for benchmarks
+        self.last_candidate_count = 0
+        self.last_verified_count = 0
+
+    # ------------------------------------------------------------------
+    def _record_tokens(self, description: EntityDescription) -> Set[str]:
+        return token_set(
+            description.values(),
+            stop_words=self.stop_words,
+            min_length=self.min_token_length,
+        )
+
+    def _sorted_records(
+        self, data: ERInput
+    ) -> Tuple[List[Tuple[str, str, List[str]]], Dict[str, int]]:
+        """Return records as ``(identifier, side, sorted tokens)`` plus global token order.
+
+        Tokens are sorted by ascending document frequency (rarest first), the
+        canonical ordering for prefix filtering.
+        """
+        raw: List[Tuple[str, str, Set[str]]] = []
+        document_frequency: Dict[str, int] = {}
+        for side, description in self._iter_with_side(data):
+            tokens = self._record_tokens(description)
+            raw.append((description.identifier, side, tokens))
+            for token in tokens:
+                document_frequency[token] = document_frequency.get(token, 0) + 1
+
+        def order(token: str) -> Tuple[int, str]:
+            return (document_frequency[token], token)
+
+        records = [
+            (identifier, side, sorted(tokens, key=order))
+            for identifier, side, tokens in raw
+        ]
+        # process shorter records first: their prefixes are shorter and the
+        # index stays small (standard AllPairs processing order)
+        records.sort(key=lambda r: (len(r[2]), r[0]))
+        return records, document_frequency
+
+    # ------------------------------------------------------------------
+    def build(self, data: ERInput) -> BlockCollection:
+        records, _ = self._sorted_records(data)
+        bilateral = isinstance(data, CleanCleanTask)
+        token_sets: Dict[str, Set[str]] = {identifier: set(tokens) for identifier, _, tokens in records}
+        sides: Dict[str, str] = {identifier: side for identifier, side, _ in records}
+
+        # inverted index over prefix tokens: token -> list of (identifier, position, size)
+        index: Dict[str, List[Tuple[str, int, int]]] = {}
+        candidates: Set[Tuple[str, str]] = set()
+
+        for identifier, side, tokens in records:
+            size = len(tokens)
+            if size == 0:
+                continue
+            prefix_len = _prefix_length(size, self.threshold)
+            overlap_bound: Dict[str, float] = {}
+            for position in range(min(prefix_len, size)):
+                token = tokens[position]
+                for other_id, other_position, other_size in index.get(token, []):
+                    if bilateral and sides[other_id] == side:
+                        continue
+                    # length filter: |x| >= threshold * |y|
+                    if other_size < self.threshold * size:
+                        continue
+                    if self.use_positional_filter:
+                        # positional filter: remaining tokens bound the overlap
+                        remaining = min(size - position, other_size - other_position)
+                        already = overlap_bound.get(other_id, 0.0) + remaining
+                        if already < _required_overlap(size, other_size, self.threshold):
+                            overlap_bound[other_id] = overlap_bound.get(other_id, 0.0) + 1.0
+                            continue
+                    candidates.add(canonical_pair(identifier, other_id))
+                index.setdefault(token, []).append((identifier, position, size))
+
+        self.last_candidate_count = len(candidates)
+
+        collection = BlockCollection(name=self.name)
+        verified = 0
+        for first, second in sorted(candidates):
+            similarity = jaccard_similarity(token_sets[first], token_sets[second])
+            if similarity >= self.threshold:
+                verified += 1
+                key = f"join:{first}|{second}"
+                if bilateral:
+                    left, right = (
+                        (first, second) if sides[first] == "left" else (second, first)
+                    )
+                    collection.add(Block(key, left_members=[left], right_members=[right]))
+                else:
+                    collection.add(Block(key, members=[first, second]))
+        self.last_verified_count = verified
+        return collection
+
+    # ------------------------------------------------------------------
+    def join_pairs(self, data: ERInput) -> List[Tuple[str, str, float]]:
+        """Return the verified pairs with their exact similarities (join-style API)."""
+        blocks = self.build(data)
+        results: List[Tuple[str, str, float]] = []
+        token_cache: Dict[str, Set[str]] = {}
+
+        def tokens_for(identifier: str) -> Set[str]:
+            if identifier not in token_cache:
+                description = (
+                    data.get(identifier)
+                    if isinstance(data, CleanCleanTask)
+                    else data.get(identifier)
+                )
+                token_cache[identifier] = self._record_tokens(description) if description else set()
+            return token_cache[identifier]
+
+        for block in blocks:
+            for first, second in block.pairs():
+                results.append(
+                    (first, second, jaccard_similarity(tokens_for(first), tokens_for(second)))
+                )
+        return results

@@ -1,0 +1,152 @@
+"""Sorted-neighbourhood blocking.
+
+Descriptions are sorted by a blocking key and a window of fixed size ``w``
+slides over the sorted list; every pair of descriptions that co-occur in a
+window becomes a candidate comparison.  The sorted order is also the basis of
+the progressive sorted-list heuristics of Section IV, which re-use
+:func:`sorted_order` from this module.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
+from repro.blocking.standard import KeyFunction, attribute_key
+from repro.datamodel.collection import CleanCleanTask
+from repro.datamodel.description import EntityDescription
+from repro.text.tokenize import normalize
+
+
+def default_sorting_key(description: EntityDescription) -> str:
+    """Default sorting key: the normalised concatenation of all values (schema-agnostic)."""
+    return normalize(description.text())
+
+
+def sorting_key_from_attributes(attributes: Sequence[str]) -> Callable[[EntityDescription], str]:
+    """Sorting key built from selected attributes (classical SN usage)."""
+
+    def key_of(description: EntityDescription) -> str:
+        return normalize(" ".join(description.value(a) for a in attributes))
+
+    return key_of
+
+
+def sorted_order(
+    data: ERInput,
+    sorting_key: Optional[Callable[[EntityDescription], str]] = None,
+) -> List[Tuple[str, str]]:
+    """Return ``(key, identifier)`` pairs of all descriptions sorted by key.
+
+    Ties are broken by identifier so the order is deterministic.  For
+    clean--clean tasks both collections are merged into a single sorted list,
+    as in the classical multi-source sorted neighbourhood.
+    """
+    key_of = sorting_key or default_sorting_key
+    entries: List[Tuple[str, str]] = []
+    if isinstance(data, CleanCleanTask):
+        iterator = iter(data)
+    else:
+        iterator = iter(data)
+    for description in iterator:
+        entries.append((key_of(description), description.identifier))
+    entries.sort()
+    return entries
+
+
+class SortedNeighborhoodBlocking(BlockBuilder):
+    """Sorted neighbourhood with a fixed sliding window.
+
+    Parameters
+    ----------
+    window_size:
+        Size ``w >= 2`` of the sliding window; each window of ``w``
+        consecutive descriptions becomes one block.
+    sorting_key:
+        Function mapping a description to its sorting key; the default is the
+        schema-agnostic concatenation of all values.
+    """
+
+    name = "sorted_neighborhood"
+
+    def __init__(
+        self,
+        window_size: int = 4,
+        sorting_key: Optional[Callable[[EntityDescription], str]] = None,
+    ) -> None:
+        if window_size < 2:
+            raise ValueError("window size must be at least 2")
+        self.window_size = window_size
+        self.sorting_key = sorting_key
+
+    def build(self, data: ERInput) -> BlockCollection:
+        entries = sorted_order(data, self.sorting_key)
+        identifiers = [identifier for _, identifier in entries]
+        collection = BlockCollection(name=self.name)
+        if len(identifiers) < 2:
+            return collection
+
+        bilateral = isinstance(data, CleanCleanTask)
+        for start in range(0, max(1, len(identifiers) - self.window_size + 1)):
+            window = identifiers[start : start + self.window_size]
+            if len(window) < 2:
+                continue
+            if bilateral:
+                left = [i for i in window if i in data.left]
+                right = [i for i in window if i in data.right]
+                if left and right:
+                    collection.add(
+                        Block(f"window:{start}", left_members=left, right_members=right)
+                    )
+            else:
+                collection.add(Block(f"window:{start}", members=window))
+        return collection
+
+
+class ExtendedSortedNeighborhoodBlocking(BlockBuilder):
+    """Key-equality variant: windows slide over distinct key values, not positions.
+
+    This variant (often called *adaptive* or *extended* SN) is robust to many
+    descriptions sharing the same key: all descriptions of the ``w``
+    consecutive distinct key values form one block.
+    """
+
+    name = "extended_sorted_neighborhood"
+
+    def __init__(
+        self,
+        window_size: int = 2,
+        sorting_key: Optional[Callable[[EntityDescription], str]] = None,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError("window size must be at least 1")
+        self.window_size = window_size
+        self.sorting_key = sorting_key
+
+    def build(self, data: ERInput) -> BlockCollection:
+        entries = sorted_order(data, self.sorting_key)
+        groups: Dict[str, List[str]] = {}
+        ordered_keys: List[str] = []
+        for key, identifier in entries:
+            if key not in groups:
+                groups[key] = []
+                ordered_keys.append(key)
+            groups[key].append(identifier)
+
+        collection = BlockCollection(name=self.name)
+        bilateral = isinstance(data, CleanCleanTask)
+        for start in range(0, max(1, len(ordered_keys) - self.window_size + 1)):
+            window_keys = ordered_keys[start : start + self.window_size]
+            members = [identifier for key in window_keys for identifier in groups[key]]
+            if len(members) < 2:
+                continue
+            if bilateral:
+                left = [i for i in members if i in data.left]
+                right = [i for i in members if i in data.right]
+                if left and right:
+                    collection.add(
+                        Block(f"keywindow:{start}", left_members=left, right_members=right)
+                    )
+            else:
+                collection.add(Block(f"keywindow:{start}", members=members))
+        return collection

@@ -1,0 +1,180 @@
+"""Command-line interface for the ER workflow.
+
+The CLI exposes the end-to-end workflow of :mod:`repro.core` to the shell so
+that the library can be used on exported datasets without writing Python::
+
+    # resolve a CSV export (one row per description, an "id" column)
+    python -m repro.cli resolve descriptions.csv --output clusters.csv
+
+    # resolve two clean sources against each other
+    python -m repro.cli link kb_a.csv kb_b.csv --threshold 0.5
+
+    # generate a synthetic workload for experimentation
+    python -m repro.cli generate --entities 500 --domain person --output dirty.json
+
+Every sub-command prints the per-stage report of the workflow; ``resolve`` and
+``link`` write the resulting clusters (one line per cluster, identifiers
+separated by ``|``) when ``--output`` is given.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List, Optional, Sequence
+
+from repro.core import ERWorkflow, WorkflowConfig
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datasets import (
+    DatasetConfig,
+    generate_clean_clean_task,
+    generate_dirty_dataset,
+    load_collection_csv,
+    load_collection_json,
+    save_collection_csv,
+    save_collection_json,
+)
+
+
+def _load_collection(path: str, id_field: str) -> EntityCollection:
+    """Load a collection from CSV or JSON, based on the file extension."""
+    suffix = Path(path).suffix.lower()
+    if suffix == ".json":
+        return load_collection_json(path)
+    if suffix in (".csv", ".tsv", ".txt"):
+        return load_collection_csv(path, id_field=id_field)
+    raise SystemExit(f"unsupported input format {suffix!r}; expected .csv or .json")
+
+
+def _workflow_from_args(args: argparse.Namespace) -> ERWorkflow:
+    config = WorkflowConfig(
+        blocking=args.blocking,
+        enable_metablocking=not args.no_metablocking,
+        weighting_scheme=args.weighting,
+        pruning_scheme=args.pruning,
+        scheduler=args.scheduler,
+        budget=args.budget,
+        match_threshold=args.threshold,
+        iterate_merges=args.iterate,
+    )
+    return ERWorkflow(config)
+
+
+def _write_clusters(clusters, output: Optional[str]) -> None:
+    if not output:
+        return
+    lines = ["|".join(sorted(cluster)) for cluster in sorted(clusters, key=lambda c: sorted(c)[0])]
+    Path(output).write_text("\n".join(lines) + "\n", encoding="utf-8")
+    print(f"wrote {len(lines)} clusters to {output}")
+
+
+def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--blocking", default="token", help="blocking scheme (default: token)")
+    parser.add_argument("--no-metablocking", action="store_true", help="disable meta-blocking")
+    parser.add_argument("--weighting", default="CBS", help="meta-blocking weighting scheme")
+    parser.add_argument("--pruning", default="WNP", help="meta-blocking pruning scheme")
+    parser.add_argument("--scheduler", default="weight_order", help="progressive scheduler")
+    parser.add_argument("--budget", type=int, default=None, help="comparison budget (default: unlimited)")
+    parser.add_argument("--threshold", type=float, default=0.55, help="match threshold")
+    parser.add_argument("--iterate", action="store_true", help="enable merging-based iteration")
+    parser.add_argument("--id-field", default="id", help="identifier column for CSV input")
+    parser.add_argument("--output", default=None, help="file to write the clusters to")
+
+
+def _command_resolve(args: argparse.Namespace) -> int:
+    collection = _load_collection(args.input, args.id_field)
+    workflow = _workflow_from_args(args)
+    print(f"resolving {len(collection)} descriptions with: {workflow.config.describe()}")
+    result = workflow.run(collection)
+    print(result.report.render())
+    print(f"{len(result.clusters)} clusters, {result.num_matches} declared matches")
+    _write_clusters(result.clusters, args.output)
+    return 0
+
+
+def _command_link(args: argparse.Namespace) -> int:
+    left = _load_collection(args.left, args.id_field)
+    right = _load_collection(args.right, args.id_field)
+    task = CleanCleanTask(left, right)
+    workflow = _workflow_from_args(args)
+    print(
+        f"linking {len(left)} x {len(right)} descriptions with: {workflow.config.describe()}"
+    )
+    result = workflow.run(task)
+    print(result.report.render())
+    print(f"{len(result.clusters)} linked clusters, {result.num_matches} declared links")
+    _write_clusters(result.clusters, args.output)
+    return 0
+
+
+def _command_generate(args: argparse.Namespace) -> int:
+    config = DatasetConfig(
+        num_entities=args.entities,
+        duplicates_per_entity=args.duplicates,
+        domain=args.domain,
+        seed=args.seed,
+    )
+    if args.clean_clean:
+        dataset = generate_clean_clean_task(config)
+        collection = dataset.task.as_single_collection()
+    else:
+        dataset = generate_dirty_dataset(config)
+        collection = dataset.collection
+
+    output = Path(args.output)
+    if output.suffix.lower() == ".json":
+        save_collection_json(collection, output)
+    else:
+        save_collection_csv(collection, output)
+    print(f"wrote {len(collection)} descriptions to {output}")
+
+    if args.ground_truth:
+        truth_path = Path(args.ground_truth)
+        clusters = [sorted(cluster) for cluster in dataset.ground_truth.clusters]
+        truth_path.write_text(
+            json.dumps({"clusters": clusters}, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+        print(f"wrote {len(clusters)} ground-truth clusters to {truth_path}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Web-scale blocking, iterative and progressive entity resolution",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    resolve = subparsers.add_parser("resolve", help="deduplicate a single (dirty) collection")
+    resolve.add_argument("input", help="CSV or JSON file with one row/object per description")
+    _add_workflow_arguments(resolve)
+    resolve.set_defaults(handler=_command_resolve)
+
+    link = subparsers.add_parser("link", help="link two duplicate-free collections")
+    link.add_argument("left", help="CSV or JSON file of the first collection")
+    link.add_argument("right", help="CSV or JSON file of the second collection")
+    _add_workflow_arguments(link)
+    link.set_defaults(handler=_command_link)
+
+    generate = subparsers.add_parser("generate", help="generate a synthetic workload")
+    generate.add_argument("--entities", type=int, default=500)
+    generate.add_argument("--duplicates", type=float, default=1.0)
+    generate.add_argument("--domain", default="person", choices=["person", "product", "publication"])
+    generate.add_argument("--seed", type=int, default=42)
+    generate.add_argument("--clean-clean", action="store_true", help="generate a clean-clean task")
+    generate.add_argument("--output", required=True, help="CSV or JSON file to write")
+    generate.add_argument("--ground-truth", default=None, help="JSON file for the ground-truth clusters")
+    generate.set_defaults(handler=_command_generate)
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

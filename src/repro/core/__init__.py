@@ -1,0 +1,22 @@
+"""The unified ER framework of the tutorial's Figure 1.
+
+The framework composes the library's building blocks into the workflow the
+tutorial presents: **Blocking** (with optional block cleaning and
+meta-blocking), **Scheduling** (progressive ordering of the candidate
+comparisons), **Matching**, and an optional **Update/Iterate** phase that
+propagates match results (merging-based iteration) before the final
+clustering.  :class:`~repro.core.workflow.ERWorkflow` is the configurable
+pipeline; :func:`~repro.core.workflow.default_workflow` builds a sensible
+default for schema-free Web data.
+"""
+
+from repro.core.config import WorkflowConfig
+from repro.core.results import WorkflowResult
+from repro.core.workflow import ERWorkflow, default_workflow
+
+__all__ = [
+    "ERWorkflow",
+    "WorkflowConfig",
+    "WorkflowResult",
+    "default_workflow",
+]

@@ -1,0 +1,83 @@
+"""Configuration of the end-to-end ER workflow."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional
+
+
+@dataclass
+class WorkflowConfig:
+    """Declarative configuration of :class:`~repro.core.workflow.ERWorkflow`.
+
+    The configuration only holds simple, serialisable choices; component
+    instances (a custom matcher, a custom scheduler) can be passed directly to
+    the workflow constructor and take precedence over the corresponding
+    fields here.
+
+    Attributes
+    ----------
+    blocking:
+        Name of the blocking scheme: ``"token"``, ``"attribute_clustering"``,
+        ``"prefix_infix_suffix"``, ``"standard"``, ``"sorted_neighborhood"``,
+        ``"qgrams"``, ``"similarity_join"``.
+    enable_purging / enable_filtering:
+        Whether block purging / block filtering run after blocking.
+    filtering_ratio:
+        Ratio of the block filtering step (ignored when filtering is off).
+    enable_metablocking:
+        Whether meta-blocking restructures the blocks before scheduling.
+    weighting_scheme / pruning_scheme:
+        Meta-blocking configuration (ignored when meta-blocking is off).
+    scheduler:
+        Progressive scheduler name: ``"weight_order"``, ``"random"``,
+        ``"sorted_list"``, ``"hierarchy"``, ``"psnm"``, ``"progressive_blocks"``,
+        ``"cost_benefit"``.
+    budget:
+        Optional comparison budget for the matching phase (``None`` = resolve
+        every scheduled comparison).
+    match_threshold:
+        Similarity threshold of the default profile matcher.
+    use_tfidf:
+        Whether the default matcher weights tokens by TF-IDF.
+    iterate_merges:
+        Whether the update phase merges matched descriptions and re-runs
+        matching on the merge results (merging-based iteration).
+    max_iterations:
+        Upper bound on update/iterate rounds.
+    clustering:
+        Final clustering: ``"connected_components"``, ``"center"`` or
+        ``"merge_center"``.
+    """
+
+    blocking: str = "token"
+    enable_purging: bool = True
+    enable_filtering: bool = True
+    filtering_ratio: float = 0.8
+    enable_metablocking: bool = True
+    weighting_scheme: str = "CBS"
+    pruning_scheme: str = "WNP"
+    scheduler: str = "weight_order"
+    budget: Optional[int] = None
+    match_threshold: float = 0.55
+    use_tfidf: bool = True
+    iterate_merges: bool = False
+    max_iterations: int = 3
+    clustering: str = "connected_components"
+
+    def describe(self) -> str:
+        """One-line human-readable summary of the configured pipeline."""
+        stages = [self.blocking]
+        if self.enable_purging:
+            stages.append("purging")
+        if self.enable_filtering:
+            stages.append(f"filtering({self.filtering_ratio})")
+        if self.enable_metablocking:
+            stages.append(f"metablocking({self.weighting_scheme}+{self.pruning_scheme})")
+        stages.append(f"scheduler={self.scheduler}")
+        stages.append(f"matcher(threshold={self.match_threshold})")
+        if self.iterate_merges:
+            stages.append("iterative-merging")
+        stages.append(self.clustering)
+        budget = f", budget={self.budget}" if self.budget is not None else ""
+        return " -> ".join(stages) + budget

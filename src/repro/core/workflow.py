@@ -1,0 +1,375 @@
+"""The configurable end-to-end ER workflow (tutorial Figure 1).
+
+``ERWorkflow.run`` executes the four phases of the framework:
+
+1. **Blocking** -- a blocking scheme builds blocks, optionally cleaned by
+   block purging and block filtering, optionally restructured by
+   meta-blocking (which also provides matching-likelihood weights).
+2. **Scheduling** -- a progressive scheduler orders the candidate
+   comparisons; with no budget this only affects the order in which matches
+   are found, with a budget it decides which comparisons run at all.
+3. **Matching** -- a pairwise matcher resolves the scheduled comparisons.
+4. **Update / Iterate** (optional) -- matched descriptions are merged and the
+   merged descriptions are matched against related candidates, possibly
+   yielding new matches (merging-based iteration); the loop stops when an
+   iteration finds no new match or ``max_iterations`` is reached.
+
+Finally the declared matches are clustered into equivalence clusters.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.blocking.base import BlockBuilder, BlockCollection, ERInput
+from repro.blocking.cleaning import BlockFiltering, BlockPurging
+from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocking
+from repro.blocking.standard import QGramsBlocking, StandardBlocking, attribute_key
+from repro.blocking.similarity_join import SimilarityJoinBlocking
+from repro.blocking.token_blocking import (
+    AttributeClusteringBlocking,
+    PrefixInfixSuffixBlocking,
+    TokenBlocking,
+)
+from repro.core.config import WorkflowConfig
+from repro.core.results import WorkflowResult
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.description import merge_descriptions
+from repro.datamodel.ground_truth import GroundTruth
+from repro.datamodel.pairs import Comparison
+from repro.evaluation.metrics import evaluate_blocks, evaluate_matches
+from repro.matching.clustering import (
+    CenterClustering,
+    ConnectedComponentsClustering,
+    MergeCenterClustering,
+)
+from repro.matching.matchers import Matcher, ProfileSimilarityMatcher
+from repro.metablocking.pipeline import MetaBlocking
+from repro.progressive.budget import Budget
+from repro.progressive.hierarchy import PartitionHierarchyScheduler
+from repro.progressive.psnm import ProgressiveBlockScheduler, ProgressiveSortedNeighborhood
+from repro.progressive.runner import run_progressive
+from repro.progressive.scheduler import CostBenefitScheduler
+from repro.progressive.schedulers import (
+    ProgressiveScheduler,
+    RandomOrderScheduler,
+    WeightOrderScheduler,
+)
+from repro.progressive.sorted_list import SortedListScheduler
+from repro.text.vectorizer import TfIdfVectorizer
+
+_BLOCKING_FACTORIES = {
+    "token": lambda: TokenBlocking(),
+    "attribute_clustering": lambda: AttributeClusteringBlocking(),
+    "prefix_infix_suffix": lambda: PrefixInfixSuffixBlocking(),
+    "qgrams": lambda: QGramsBlocking(),
+    "sorted_neighborhood": lambda: SortedNeighborhoodBlocking(),
+    "similarity_join": lambda: SimilarityJoinBlocking(threshold=0.4),
+    "standard": lambda: StandardBlocking([attribute_key(["name"], length=6)]),
+}
+
+_SCHEDULER_FACTORIES = {
+    "weight_order": lambda: WeightOrderScheduler(),
+    "random": lambda: RandomOrderScheduler(),
+    "sorted_list": lambda: SortedListScheduler(),
+    "hierarchy": lambda: PartitionHierarchyScheduler(),
+    "psnm": lambda: ProgressiveSortedNeighborhood(),
+    "progressive_blocks": lambda: ProgressiveBlockScheduler(),
+    "cost_benefit": lambda: CostBenefitScheduler(),
+}
+
+_CLUSTERING_FACTORIES = {
+    "connected_components": ConnectedComponentsClustering,
+    "center": CenterClustering,
+    "merge_center": MergeCenterClustering,
+}
+
+
+class ERWorkflow:
+    """Configurable blocking -> scheduling -> matching -> update workflow.
+
+    Parameters
+    ----------
+    config:
+        Declarative configuration; defaults are reasonable for schema-free
+        Web data.
+    blocking, matcher, scheduler:
+        Optional component instances overriding the configuration's named
+        choices.
+    """
+
+    def __init__(
+        self,
+        config: Optional[WorkflowConfig] = None,
+        blocking: Optional[BlockBuilder] = None,
+        matcher: Optional[Matcher] = None,
+        scheduler: Optional[ProgressiveScheduler] = None,
+    ) -> None:
+        self.config = config or WorkflowConfig()
+        self._blocking_override = blocking
+        self._matcher_override = matcher
+        self._scheduler_override = scheduler
+
+    # ------------------------------------------------------------------
+    # component resolution
+    # ------------------------------------------------------------------
+    def _make_blocking(self) -> BlockBuilder:
+        if self._blocking_override is not None:
+            return self._blocking_override
+        name = self.config.blocking
+        if name not in _BLOCKING_FACTORIES:
+            raise KeyError(
+                f"unknown blocking scheme {name!r}; available: {sorted(_BLOCKING_FACTORIES)}"
+            )
+        return _BLOCKING_FACTORIES[name]()
+
+    def _make_scheduler(self) -> ProgressiveScheduler:
+        if self._scheduler_override is not None:
+            return self._scheduler_override
+        name = self.config.scheduler
+        if name not in _SCHEDULER_FACTORIES:
+            raise KeyError(
+                f"unknown scheduler {name!r}; available: {sorted(_SCHEDULER_FACTORIES)}"
+            )
+        return _SCHEDULER_FACTORIES[name]()
+
+    def _make_matcher(self, data: ERInput) -> Matcher:
+        if self._matcher_override is not None:
+            return self._matcher_override
+        vectorizer = None
+        if self.config.use_tfidf:
+            vectorizer = TfIdfVectorizer().fit(iter(data))
+        return ProfileSimilarityMatcher(
+            threshold=self.config.match_threshold, vectorizer=vectorizer
+        )
+
+    def _make_clustering(self):
+        name = self.config.clustering
+        if name not in _CLUSTERING_FACTORIES:
+            raise KeyError(
+                f"unknown clustering {name!r}; available: {sorted(_CLUSTERING_FACTORIES)}"
+            )
+        return _CLUSTERING_FACTORIES[name]()
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        data: ERInput,
+        ground_truth: Optional[GroundTruth] = None,
+    ) -> WorkflowResult:
+        """Execute the workflow over ``data``; evaluate against ``ground_truth`` if given."""
+        config = self.config
+        result = WorkflowResult()
+        report = result.report
+
+        # ---------------- blocking ----------------
+        start = time.perf_counter()
+        builder = self._make_blocking()
+        blocks = builder.build(data)
+        report.add_stage(
+            f"blocking[{builder.name}]",
+            blocks=len(blocks),
+            comparisons=blocks.total_comparisons(),
+            seconds=time.perf_counter() - start,
+        )
+
+        if config.enable_purging:
+            start = time.perf_counter()
+            blocks = BlockPurging().process(blocks)
+            report.add_stage(
+                "block_purging",
+                blocks=len(blocks),
+                comparisons=blocks.total_comparisons(),
+                seconds=time.perf_counter() - start,
+            )
+        if config.enable_filtering:
+            start = time.perf_counter()
+            blocks = BlockFiltering(ratio=config.filtering_ratio).process(blocks)
+            report.add_stage(
+                "block_filtering",
+                blocks=len(blocks),
+                comparisons=blocks.total_comparisons(),
+                seconds=time.perf_counter() - start,
+            )
+
+        # ---------------- meta-blocking ----------------
+        candidates: Union[BlockCollection, List[Comparison]]
+        if config.enable_metablocking:
+            start = time.perf_counter()
+            metablocking = MetaBlocking(config.weighting_scheme, config.pruning_scheme)
+            weighted = metablocking.weighted_comparisons(blocks)
+            candidates = weighted
+            report.add_stage(
+                f"metablocking[{config.weighting_scheme}+{config.pruning_scheme}]",
+                graph_edges=metablocking.last_graph_edges,
+                retained=metablocking.last_retained_edges,
+                seconds=time.perf_counter() - start,
+            )
+        else:
+            candidates = blocks
+
+        if ground_truth is not None:
+            candidate_pairs = (
+                {c.pair for c in candidates}
+                if not isinstance(candidates, BlockCollection)
+                else candidates.distinct_pairs()
+            )
+            result.blocking_quality = None
+            from repro.evaluation.metrics import evaluate_comparisons
+
+            result.blocking_quality = evaluate_comparisons(candidate_pairs, ground_truth, data)
+
+        # ---------------- scheduling + matching ----------------
+        start = time.perf_counter()
+        scheduler = self._make_scheduler()
+        matcher = self._make_matcher(data)
+        progressive = run_progressive(
+            scheduler=scheduler,
+            matcher=matcher,
+            data=data,
+            candidates=candidates,
+            budget=config.budget,
+            ground_truth=ground_truth,
+            keep_decisions=False,
+        )
+        result.comparisons_executed += progressive.comparisons_executed
+        result.matches = list(progressive.declared_matches)
+        result.curve = progressive.curve
+        report.add_stage(
+            f"matching[{scheduler.name}]",
+            comparisons=progressive.comparisons_executed,
+            declared_matches=len(progressive.declared_matches),
+            seconds=time.perf_counter() - start,
+        )
+
+        # ---------------- update / iterate ----------------
+        if config.iterate_merges and result.matches:
+            start = time.perf_counter()
+            new_matches, extra_comparisons, iterations = self._iterate_merges(
+                data, matcher, result.matches
+            )
+            result.matches.extend(new_matches)
+            result.comparisons_executed += extra_comparisons
+            result.iterations = iterations
+            report.add_stage(
+                "update_iterate",
+                iterations=iterations,
+                new_matches=len(new_matches),
+                comparisons=extra_comparisons,
+                seconds=time.perf_counter() - start,
+            )
+
+        # ---------------- clustering ----------------
+        start = time.perf_counter()
+        clustering = self._make_clustering()
+        from repro.matching.matchers import MatchDecision
+
+        decisions = [
+            MatchDecision(
+                comparison=Comparison(first, second), similarity=1.0, is_match=True
+            )
+            for first, second in result.matches
+        ]
+        result.clusters = clustering.cluster(decisions)
+        report.add_stage(
+            f"clustering[{clustering.name}]",
+            clusters=len(result.clusters),
+            seconds=time.perf_counter() - start,
+        )
+
+        if ground_truth is not None:
+            result.matching_quality = evaluate_matches(result.matched_pairs(), ground_truth)
+
+        return result
+
+    # ------------------------------------------------------------------
+    def _iterate_merges(
+        self,
+        data: ERInput,
+        matcher: Matcher,
+        matches: Sequence[Tuple[str, str]],
+    ) -> Tuple[List[Tuple[str, str]], int, int]:
+        """Merging-based update phase.
+
+        Matched descriptions are merged; each merged description is compared
+        against the (not yet matched) descriptions that share a token-blocking
+        block with any of its sources, which may reveal matches missed by the
+        pairwise phase.  Returns (new matches, extra comparisons, iterations).
+        """
+        from repro.blocking.token_blocking import TokenBlocking
+
+        new_matches: List[Tuple[str, str]] = []
+        extra_comparisons = 0
+        iterations = 0
+
+        # current cluster representative per identifier
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            while parent[x] != x:
+                parent[x] = parent[parent[x]]
+                x = parent[x]
+            return x
+
+        def union(a: str, b: str) -> None:
+            parent[find(b)] = find(a)
+
+        for first, second in matches:
+            union(first, second)
+
+        blocks = TokenBlocking().build(data)
+        neighbour_index = blocks.entity_index()
+        block_members = [list(block.members) for block in blocks]
+
+        pending = list(matches)
+        for iteration in range(self.config.max_iterations):
+            if not pending:
+                break
+            iterations = iteration + 1
+            found_this_round: List[Tuple[str, str]] = []
+            for first, second in pending:
+                description_a = data.get(first)
+                description_b = data.get(second)
+                if description_a is None or description_b is None:
+                    continue
+                merged = merge_descriptions(description_a, description_b)
+                # candidate partners: co-blocked with either source, not already clustered together
+                candidate_ids: Set[str] = set()
+                for source in (first, second):
+                    for block_index in neighbour_index.get(source, ()):
+                        candidate_ids.update(block_members[block_index])
+                candidate_ids.discard(first)
+                candidate_ids.discard(second)
+                for candidate_id in sorted(candidate_ids):
+                    if find(candidate_id) == find(first):
+                        continue
+                    candidate = data.get(candidate_id)
+                    if candidate is None:
+                        continue
+                    extra_comparisons += 1
+                    if matcher.match(merged, candidate):
+                        union(first, candidate_id)
+                        pair = (first, candidate_id)
+                        found_this_round.append(pair)
+            new_matches.extend(found_this_round)
+            pending = found_this_round
+        return new_matches, extra_comparisons, iterations
+
+
+def default_workflow(budget: Optional[int] = None, **overrides) -> ERWorkflow:
+    """A ready-to-use workflow for schema-free Web data.
+
+    Token blocking with purging and filtering, CBS+WNP meta-blocking,
+    weight-ordered scheduling and a TF-IDF profile matcher.  Keyword
+    overrides are applied to the underlying :class:`WorkflowConfig`.
+    """
+    config = WorkflowConfig(budget=budget)
+    for key, value in overrides.items():
+        if not hasattr(config, key):
+            raise AttributeError(f"WorkflowConfig has no field {key!r}")
+        setattr(config, key, value)
+    return ERWorkflow(config)

@@ -1,0 +1,33 @@
+"""Schema-free data model for entity resolution in the Web of data.
+
+The tutorial's setting is a Web of interlinked knowledge bases (KBs) in which
+real-world entities are described by *entity descriptions*: sets of
+attribute--value pairs that do not commit to a schema fixed in advance.  This
+package provides the core containers shared by every other subsystem:
+
+* :class:`~repro.datamodel.description.EntityDescription` -- a single
+  schema-free description (roughly an RDF resource with its literal values).
+* :class:`~repro.datamodel.collection.EntityCollection` -- an ordered
+  collection of descriptions, either *dirty* (one source containing
+  duplicates) or one side of a *clean--clean* ER task (two duplicate-free
+  sources matched against each other).
+* :class:`~repro.datamodel.ground_truth.GroundTruth` -- the known set of
+  matching description pairs / equivalence clusters used for evaluation.
+* :class:`~repro.datamodel.pairs.Comparison` -- a candidate pair of
+  descriptions proposed by blocking and consumed by matching.
+"""
+
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.description import EntityDescription, merge_descriptions
+from repro.datamodel.ground_truth import GroundTruth
+from repro.datamodel.pairs import Comparison, canonical_pair
+
+__all__ = [
+    "CleanCleanTask",
+    "Comparison",
+    "EntityCollection",
+    "EntityDescription",
+    "GroundTruth",
+    "canonical_pair",
+    "merge_descriptions",
+]

@@ -1,0 +1,104 @@
+"""Candidate comparisons (description pairs).
+
+Blocking proposes *comparisons*: unordered pairs of description identifiers
+that should be examined by the matching phase.  A comparison is canonicalised
+so that the lexicographically smaller identifier always comes first, which
+makes pair-level deduplication (redundant-comparison elimination) a set
+operation.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+def canonical_pair(first: str, second: str) -> Tuple[str, str]:
+    """Return the pair ordered lexicographically (the canonical form)."""
+    if first == second:
+        raise ValueError(f"a comparison requires two distinct descriptions, got {first!r} twice")
+    return (first, second) if first < second else (second, first)
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """An unordered candidate pair of descriptions.
+
+    Attributes
+    ----------
+    first, second:
+        Identifiers of the two descriptions, stored in canonical
+        (lexicographic) order regardless of construction order.
+    weight:
+        Optional weight attached by meta-blocking or a scheduler; higher
+        means more likely to match.  ``None`` means unweighted.
+    block_id:
+        Optional identifier of the block that proposed this comparison.
+    """
+
+    first: str
+    second: str
+    weight: Optional[float] = field(default=None, compare=False)
+    block_id: Optional[str] = field(default=None, compare=False)
+
+    def __post_init__(self) -> None:
+        ordered = canonical_pair(self.first, self.second)
+        if ordered != (self.first, self.second):
+            object.__setattr__(self, "first", ordered[0])
+            object.__setattr__(self, "second", ordered[1])
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return (self.first, self.second)
+
+    def involves(self, identifier: str) -> bool:
+        return identifier == self.first or identifier == self.second
+
+    def other(self, identifier: str) -> str:
+        """Return the member of the pair that is not ``identifier``."""
+        if identifier == self.first:
+            return self.second
+        if identifier == self.second:
+            return self.first
+        raise KeyError(f"{identifier!r} is not part of comparison {self.pair}")
+
+    def with_weight(self, weight: float) -> "Comparison":
+        return Comparison(self.first, self.second, weight=weight, block_id=self.block_id)
+
+    def __repr__(self) -> str:
+        if self.weight is None:
+            return f"Comparison({self.first!r}, {self.second!r})"
+        return f"Comparison({self.first!r}, {self.second!r}, weight={self.weight:.4f})"
+
+
+class ComparisonCounter:
+    """Counts comparisons executed per stage; shared by pipelines and budgets.
+
+    The counter is the single source of truth that progressive ER uses to
+    enforce a comparison budget, and that benchmarks use to report the number
+    of executed comparisons per workflow stage.
+    """
+
+    def __init__(self) -> None:
+        self._per_stage: Dict[str, int] = {}
+
+    def record(self, stage: str = "matching", count: int = 1) -> None:
+        self._per_stage[stage] = self._per_stage.get(stage, 0) + count
+
+    def count(self, stage: Optional[str] = None) -> int:
+        if stage is not None:
+            return self._per_stage.get(stage, 0)
+        return sum(self._per_stage.values())
+
+    @property
+    def total(self) -> int:
+        return self.count()
+
+    def per_stage(self) -> Dict[str, int]:
+        return dict(self._per_stage)
+
+    def reset(self) -> None:
+        self._per_stage.clear()
+
+    def __repr__(self) -> str:
+        return f"ComparisonCounter(total={self.total}, stages={self._per_stage})"

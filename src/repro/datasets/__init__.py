@@ -1,0 +1,49 @@
+"""Synthetic Web-of-data workloads and dataset loaders.
+
+The tutorial's motivating datasets are KBs of the LOD cloud (DBpedia,
+GeoNames, ...), which cannot be shipped with a reproduction.  This package
+substitutes them with deterministic synthetic generators that expose the same
+statistical properties the surveyed algorithms depend on:
+
+* partial and overlapping descriptions of the same real-world entity,
+* heterogeneous vocabularies (different attribute names across sources),
+* noisy values (typos, abbreviations, re-orderings, missing values),
+* skewed token-frequency distributions,
+* relationships between entities of different types (for collective ER).
+
+Every generator is seeded, so workloads are reproducible bit-for-bit.
+"""
+
+from repro.datasets.builtin import load_census, load_restaurants
+from repro.datasets.corruption import CorruptionModel, CorruptionConfig
+from repro.datasets.generator import (
+    DatasetConfig,
+    GeneratedDataset,
+    generate_bibliographic_dataset,
+    generate_clean_clean_task,
+    generate_dirty_dataset,
+)
+from repro.datasets.loaders import (
+    collection_from_records,
+    load_collection_csv,
+    load_collection_json,
+    save_collection_csv,
+    save_collection_json,
+)
+
+__all__ = [
+    "CorruptionConfig",
+    "CorruptionModel",
+    "DatasetConfig",
+    "GeneratedDataset",
+    "collection_from_records",
+    "generate_bibliographic_dataset",
+    "generate_clean_clean_task",
+    "generate_dirty_dataset",
+    "load_census",
+    "load_collection_csv",
+    "load_collection_json",
+    "load_restaurants",
+    "save_collection_csv",
+    "save_collection_json",
+]

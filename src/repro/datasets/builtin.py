@@ -1,0 +1,88 @@
+"""Small built-in benchmark datasets, defined in code.
+
+Classical ER papers evaluate on small, well-understood datasets (restaurant
+guides, bibliographic records, census snippets).  The real files cannot be
+redistributed here, so this module ships *code-defined* miniatures with the
+same character: a handful of real-world entities, several manually written
+descriptions per entity with realistic spelling/format variation, and exact
+ground truth.  They are useful for documentation examples, quick tests and as
+fixed regression anchors that do not depend on the random generators.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from repro.datamodel.collection import EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.datamodel.ground_truth import GroundTruth
+from repro.datasets.generator import GeneratedDataset, DatasetConfig
+
+# Each entry: (identifier, attributes, entity key) -- descriptions with the same
+# entity key describe the same real-world entity.
+_RESTAURANT_ROWS: Sequence[Tuple[str, Dict[str, object], str]] = (
+    ("rest:1", {"name": "Arnie Morton's of Chicago", "address": "435 S. La Cienega Blvd.", "city": "Los Angeles", "cuisine": "steakhouses", "phone": "310-246-1501"}, "morton-la"),
+    ("rest:2", {"name": "Arnie Mortons of Chicago", "street": "435 South La Cienega Boulevard", "location": "Los Angeles CA", "type": "steak house", "tel": "310/246-1501"}, "morton-la"),
+    ("rest:3", {"name": "Art's Delicatessen", "address": "12224 Ventura Blvd.", "city": "Studio City", "cuisine": "american", "phone": "818-762-1221"}, "arts-deli"),
+    ("rest:4", {"name": "Art's Deli", "street": "12224 Ventura Boulevard", "location": "Studio City", "type": "delis", "tel": "818/762-1221"}, "arts-deli"),
+    ("rest:5", {"name": "Hotel Bel-Air", "address": "701 Stone Canyon Rd.", "city": "Bel Air", "cuisine": "californian", "phone": "310-472-1211"}, "bel-air"),
+    ("rest:6", {"name": "Bel-Air Hotel", "street": "701 Stone Canyon Road", "location": "Bel Air California", "type": "california cuisine", "tel": "310/472-1211"}, "bel-air"),
+    ("rest:7", {"name": "Cafe Bizou", "address": "14016 Ventura Blvd.", "city": "Sherman Oaks", "cuisine": "french bistro", "phone": "818-788-3536"}, "bizou"),
+    ("rest:8", {"name": "Cafe Bizou Restaurant", "street": "14016 Ventura Blvd", "location": "Sherman Oaks CA", "type": "french", "tel": "818/788-3536"}, "bizou"),
+    ("rest:9", {"name": "Campanile", "address": "624 S. La Brea Ave.", "city": "Los Angeles", "cuisine": "californian", "phone": "213-938-1447"}, "campanile"),
+    ("rest:10", {"name": "Campanile Restaurant", "street": "624 South La Brea Avenue", "location": "Los Angeles", "type": "american", "tel": "213/938-1447"}, "campanile"),
+    ("rest:11", {"name": "Chinois on Main", "address": "2709 Main St.", "city": "Santa Monica", "cuisine": "pacific new wave", "phone": "310-392-9025"}, "chinois"),
+    ("rest:12", {"name": "Chinois On Main", "street": "2709 Main Street", "location": "Santa Monica CA", "type": "french / asian fusion", "tel": "310/392-9025"}, "chinois"),
+    ("rest:13", {"name": "Citrus", "address": "6703 Melrose Ave.", "city": "Los Angeles", "cuisine": "californian", "phone": "213-857-0034"}, "citrus"),
+    ("rest:14", {"name": "Granita", "address": "23725 W. Malibu Rd.", "city": "Malibu", "cuisine": "californian", "phone": "310-456-0488"}, "granita"),
+    ("rest:15", {"name": "The Grill on the Alley", "address": "9560 Dayton Way", "city": "Beverly Hills", "cuisine": "american", "phone": "310-276-0615"}, "grill-alley"),
+    ("rest:16", {"name": "Grill The on the Alley", "street": "9560 Dayton Way", "location": "Beverly Hills CA", "type": "steakhouse", "tel": "310/276-0615"}, "grill-alley"),
+    ("rest:17", {"name": "Restaurant Katsu", "address": "1972 Hillhurst Ave.", "city": "Los Feliz", "cuisine": "japanese", "phone": "213-665-1891"}, "katsu"),
+    ("rest:18", {"name": "Katsu", "street": "1972 Hillhurst Avenue", "location": "Los Feliz CA", "type": "sushi", "tel": "213/665-1891"}, "katsu"),
+)
+
+_CENSUS_ROWS: Sequence[Tuple[str, Dict[str, object], str]] = (
+    ("cens:1", {"first_name": "Jonathan", "last_name": "Smith", "birth_year": "1956", "street": "12 Oak Street", "city": "Springfield"}, "j-smith-1956"),
+    ("cens:2", {"first_name": "Jon", "surname": "Smith", "born": "1956", "address": "12 Oak St", "town": "Springfield"}, "j-smith-1956"),
+    ("cens:3", {"first_name": "Jonathon", "last_name": "Smyth", "birth_year": "1956", "street": "12 Oak Street", "city": "Springfeld"}, "j-smith-1956"),
+    ("cens:4", {"first_name": "Mary", "last_name": "Johnson", "birth_year": "1962", "street": "48 Elm Avenue", "city": "Riverton"}, "m-johnson"),
+    ("cens:5", {"first_name": "Marie", "surname": "Johnson", "born": "1962", "address": "48 Elm Ave", "town": "Riverton"}, "m-johnson"),
+    ("cens:6", {"first_name": "Robert", "last_name": "Brown", "birth_year": "1940", "street": "3 High Street", "city": "Lakeside"}, "r-brown"),
+    ("cens:7", {"first_name": "Bob", "surname": "Brown", "born": "1940", "address": "3 High St", "town": "Lakeside"}, "r-brown"),
+    ("cens:8", {"first_name": "Roberta", "last_name": "Browne", "birth_year": "1971", "street": "77 Lake Road", "city": "Lakeside"}, "roberta-browne"),
+    ("cens:9", {"first_name": "Elena", "last_name": "Garcia", "birth_year": "1985", "street": "9 Station Road", "city": "Mill Valley"}, "e-garcia"),
+    ("cens:10", {"first_name": "Helena", "surname": "Garcia", "born": "1985", "address": "9 Station Rd", "town": "Mill Valley"}, "e-garcia"),
+    ("cens:11", {"first_name": "William", "last_name": "Lee", "birth_year": "1990", "street": "251 Park Avenue", "city": "Springfield"}, "w-lee"),
+    ("cens:12", {"first_name": "Will", "surname": "Lee", "born": "1990", "address": "251 Park Ave", "town": "Springfield"}, "w-lee"),
+    ("cens:13", {"first_name": "Wilma", "last_name": "Lee", "birth_year": "1959", "street": "18 North Road", "city": "Riverton"}, "wilma-lee"),
+)
+
+
+def _build_dataset(rows: Sequence[Tuple[str, Dict[str, object], str]], name: str, source: str) -> GeneratedDataset:
+    collection = EntityCollection(name=name)
+    clusters: Dict[str, List[str]] = {}
+    for identifier, attributes, entity_key in rows:
+        collection.add(EntityDescription(identifier, attributes, source=source))
+        clusters.setdefault(entity_key, []).append(identifier)
+    ground_truth = GroundTruth(clusters.values())
+    config = DatasetConfig(num_entities=len(clusters), duplicates_per_entity=0.0, domain="person", seed=0)
+    return GeneratedDataset(collection=collection, task=None, ground_truth=ground_truth, config=config)
+
+
+def load_restaurants() -> GeneratedDataset:
+    """A miniature restaurant-guide deduplication dataset (18 descriptions, 8 duplicate pairs).
+
+    Styled after the classical restaurant-matching benchmark: the same venue is
+    described by two guides with different attribute names, abbreviations and
+    phone-number formats.
+    """
+    return _build_dataset(_RESTAURANT_ROWS, name="restaurants", source="guides")
+
+
+def load_census() -> GeneratedDataset:
+    """A miniature census-style deduplication dataset (13 descriptions, 6 clusters).
+
+    Contains nickname variants, spelling errors and near-miss non-duplicates
+    (e.g. "Robert Brown" vs "Roberta Browne") that exercise precision.
+    """
+    return _build_dataset(_CENSUS_ROWS, name="census", source="census")

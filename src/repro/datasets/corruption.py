@@ -1,0 +1,237 @@
+"""Corruption model: turning clean descriptions into noisy duplicates.
+
+Duplicate descriptions in the Web of data differ from their "clean"
+counterpart in two independent ways that the surveyed algorithms must be
+robust to:
+
+* **value noise** -- typos, token drops, token reordering, abbreviations,
+  case/format changes;
+* **structural noise** -- missing attributes, attributes renamed according to
+  a different vocabulary, values split over several attributes or merged into
+  one.
+
+:class:`CorruptionModel` applies both kinds of noise with configurable,
+seeded probabilities, so a generated workload can range from *highly similar*
+duplicates (center-of-the-LOD-cloud style) to *somehow similar* ones
+(periphery style), which is exactly the distinction the tutorial draws.
+"""
+
+from __future__ import annotations
+
+import random
+import string
+from dataclasses import dataclass, field
+from typing import Dict, List, Mapping, Optional, Sequence, Tuple
+
+from repro.datamodel.description import EntityDescription
+from repro.datasets.vocabularies import ABBREVIATIONS, ATTRIBUTE_SYNONYMS
+
+
+@dataclass
+class CorruptionConfig:
+    """Probabilities and intensities of the different corruption operators.
+
+    All probabilities are per-eligible-item (per character for typos, per
+    value for the value-level operators, per attribute for the structural
+    operators).  The defaults produce *moderately* noisy duplicates: most
+    duplicates share several tokens with their original but rarely all.
+    """
+
+    typo_probability: float = 0.08
+    token_drop_probability: float = 0.10
+    token_swap_probability: float = 0.10
+    abbreviation_probability: float = 0.25
+    attribute_drop_probability: float = 0.15
+    attribute_rename_probability: float = 0.35
+    value_merge_probability: float = 0.10
+    numeric_perturbation_probability: float = 0.10
+    case_change_probability: float = 0.15
+
+    def scaled(self, factor: float) -> "CorruptionConfig":
+        """Return a copy with every probability multiplied by ``factor`` (capped at 0.95)."""
+        def cap(p: float) -> float:
+            return min(0.95, max(0.0, p * factor))
+
+        return CorruptionConfig(
+            typo_probability=cap(self.typo_probability),
+            token_drop_probability=cap(self.token_drop_probability),
+            token_swap_probability=cap(self.token_swap_probability),
+            abbreviation_probability=cap(self.abbreviation_probability),
+            attribute_drop_probability=cap(self.attribute_drop_probability),
+            attribute_rename_probability=cap(self.attribute_rename_probability),
+            value_merge_probability=cap(self.value_merge_probability),
+            numeric_perturbation_probability=cap(self.numeric_perturbation_probability),
+            case_change_probability=cap(self.case_change_probability),
+        )
+
+    @classmethod
+    def highly_similar(cls) -> "CorruptionConfig":
+        """Low-noise profile: duplicates share many tokens (LOD-cloud center)."""
+        return cls().scaled(0.4)
+
+    @classmethod
+    def somehow_similar(cls) -> "CorruptionConfig":
+        """High-noise profile: duplicates share few tokens (LOD-cloud periphery)."""
+        return cls().scaled(1.8)
+
+
+class CorruptionModel:
+    """Applies seeded, configurable noise to entity descriptions."""
+
+    def __init__(self, config: Optional[CorruptionConfig] = None, seed: int = 0) -> None:
+        self.config = config or CorruptionConfig()
+        self._rng = random.Random(seed)
+
+    # ------------------------------------------------------------------
+    # value-level operators
+    # ------------------------------------------------------------------
+    def corrupt_token(self, token: str) -> str:
+        """Introduce a single character-level typo into ``token``."""
+        if not token:
+            return token
+        operation = self._rng.choice(("substitute", "delete", "insert", "transpose"))
+        position = self._rng.randrange(len(token))
+        letters = string.ascii_lowercase
+        if operation == "substitute":
+            return token[:position] + self._rng.choice(letters) + token[position + 1 :]
+        if operation == "delete" and len(token) > 1:
+            return token[:position] + token[position + 1 :]
+        if operation == "insert":
+            return token[:position] + self._rng.choice(letters) + token[position:]
+        if operation == "transpose" and len(token) > 1:
+            position = min(position, len(token) - 2)
+            return (
+                token[:position]
+                + token[position + 1]
+                + token[position]
+                + token[position + 2 :]
+            )
+        return token
+
+    def corrupt_value(self, value: str) -> str:
+        """Apply token-level and character-level noise to one attribute value."""
+        config = self.config
+        tokens = value.split()
+        if not tokens:
+            return value
+
+        # token drop (keep at least one token)
+        if len(tokens) > 1:
+            tokens = [
+                t
+                for t in tokens
+                if self._rng.random() >= config.token_drop_probability
+            ] or [tokens[0]]
+
+        # token swap (adjacent transposition, models "last, first" style changes)
+        if len(tokens) > 1 and self._rng.random() < config.token_swap_probability:
+            index = self._rng.randrange(len(tokens) - 1)
+            tokens[index], tokens[index + 1] = tokens[index + 1], tokens[index]
+
+        # abbreviation of known long words
+        rewritten: List[str] = []
+        for token in tokens:
+            lowered = token.lower()
+            if (
+                lowered in ABBREVIATIONS
+                and self._rng.random() < config.abbreviation_probability
+            ):
+                abbreviation = ABBREVIATIONS[lowered]
+                rewritten.append(abbreviation if token.islower() else abbreviation.title())
+            else:
+                rewritten.append(token)
+        tokens = rewritten
+
+        # typos
+        tokens = [
+            self.corrupt_token(token)
+            if self._rng.random() < config.typo_probability
+            else token
+            for token in tokens
+        ]
+
+        result = " ".join(tokens)
+
+        # numeric perturbation (years, prices)
+        if result.isdigit() and self._rng.random() < config.numeric_perturbation_probability:
+            result = str(int(result) + self._rng.choice((-2, -1, 1, 2)))
+
+        # case change
+        if self._rng.random() < config.case_change_probability:
+            result = result.lower() if self._rng.random() < 0.5 else result.upper()
+
+        return result
+
+    # ------------------------------------------------------------------
+    # structural operators
+    # ------------------------------------------------------------------
+    def rename_attribute(self, name: str) -> str:
+        """Pick an alternative vocabulary term for a canonical attribute name."""
+        synonyms = ATTRIBUTE_SYNONYMS.get(name)
+        if not synonyms:
+            return name
+        return self._rng.choice(synonyms)
+
+    def corrupt_description(
+        self,
+        description: EntityDescription,
+        identifier: str,
+        source: Optional[str] = None,
+        attribute_style: Optional[Mapping[str, str]] = None,
+    ) -> EntityDescription:
+        """Produce a noisy duplicate of ``description`` with a new identifier.
+
+        Parameters
+        ----------
+        description:
+            The clean original.
+        identifier:
+            Identifier of the duplicate.
+        source:
+            Source KB name recorded on the duplicate.
+        attribute_style:
+            Optional fixed mapping ``canonical name -> renamed name`` applied
+            before the per-attribute random renaming; used to give every
+            source KB a consistent vocabulary.
+        """
+        config = self.config
+        duplicate = EntityDescription(identifier, source=source or description.source)
+
+        attribute_items = list(description.attributes.items())
+        # keep at least one attribute so the duplicate is never empty
+        keep_flags = [
+            self._rng.random() >= config.attribute_drop_probability
+            for _ in attribute_items
+        ]
+        if not any(keep_flags):
+            keep_flags[self._rng.randrange(len(keep_flags))] = True
+
+        kept: List[Tuple[str, Tuple[str, ...]]] = [
+            item for item, keep in zip(attribute_items, keep_flags) if keep
+        ]
+
+        # possibly merge two kept attributes' values into one attribute
+        if len(kept) > 1 and self._rng.random() < config.value_merge_probability:
+            index = self._rng.randrange(len(kept) - 1)
+            (name_a, values_a), (name_b, values_b) = kept[index], kept[index + 1]
+            merged_value = " ".join(values_a + values_b)
+            kept[index] = (name_a, (merged_value,))
+            del kept[index + 1]
+
+        for name, values in kept:
+            target_name = name
+            if attribute_style and name in attribute_style:
+                target_name = attribute_style[name]
+            elif self._rng.random() < config.attribute_rename_probability:
+                target_name = self.rename_attribute(name)
+            corrupted_values = tuple(self.corrupt_value(v) for v in values)
+            duplicate.add(target_name, corrupted_values)
+
+        for name, targets in description.relationships.items():
+            duplicate.add_relationship(name, targets)
+
+        return duplicate
+
+    def make_style(self, canonical_attributes: Sequence[str]) -> Dict[str, str]:
+        """Draw a consistent vocabulary style: one renamed term per canonical attribute."""
+        return {name: self.rename_attribute(name) for name in canonical_attributes}

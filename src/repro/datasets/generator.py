@@ -1,0 +1,361 @@
+"""Synthetic Web-of-data workload generators.
+
+Three generators cover the workloads the tutorial's experiments require:
+
+* :func:`generate_dirty_dataset` -- a single *dirty* collection in which each
+  real-world entity is described by one clean description plus a configurable
+  number of noisy duplicates (the deduplication / dirty ER setting).
+* :func:`generate_clean_clean_task` -- two duplicate-free collections derived
+  from the same entity universe but with different vocabularies and noise
+  (the record-linkage / clean--clean setting across two KBs).
+* :func:`generate_bibliographic_dataset` -- a two-type relational KB
+  (publications and authors with ambiguous names) used by relationship-based
+  iterative (collective) ER and by the cost--benefit scheduler.
+
+All generators are deterministic given their configuration seed.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.datamodel.ground_truth import GroundTruth
+from repro.datasets.corruption import CorruptionConfig, CorruptionModel
+from repro.datasets.vocabularies import (
+    CITIES,
+    COUNTRIES,
+    FIRST_NAMES,
+    LAST_NAMES,
+    OCCUPATIONS,
+    PRODUCT_ADJECTIVES,
+    PRODUCT_BRANDS,
+    PRODUCT_LINES,
+    RESEARCH_TOPICS,
+    STREET_NAMES,
+    UNIVERSITIES,
+    VENUES,
+)
+
+
+@dataclass
+class DatasetConfig:
+    """Configuration of a synthetic workload.
+
+    Attributes
+    ----------
+    num_entities:
+        Number of distinct real-world entities in the universe.
+    duplicates_per_entity:
+        Average number of *extra* descriptions per entity in a dirty
+        collection (drawn uniformly from ``0 .. 2 * average`` per entity).
+    domain:
+        ``"person"``, ``"product"`` or ``"publication"`` -- decides the
+        attribute set and value pools.
+    noise:
+        Corruption profile applied to duplicates; see
+        :class:`~repro.datasets.corruption.CorruptionConfig`.
+    missing_in_right:
+        For clean--clean tasks, the fraction of universe entities absent from
+        the right-hand collection (so not every left description has a match).
+    seed:
+        Master random seed.
+    """
+
+    num_entities: int = 500
+    duplicates_per_entity: float = 1.0
+    domain: str = "person"
+    noise: CorruptionConfig = field(default_factory=CorruptionConfig)
+    missing_in_right: float = 0.2
+    seed: int = 42
+
+
+@dataclass
+class GeneratedDataset:
+    """A generated workload: descriptions plus exact ground truth."""
+
+    collection: Optional[EntityCollection]
+    task: Optional[CleanCleanTask]
+    ground_truth: GroundTruth
+    config: DatasetConfig
+
+    @property
+    def descriptions(self) -> EntityCollection:
+        """The single collection view (union of both sides for clean--clean tasks)."""
+        if self.collection is not None:
+            return self.collection
+        assert self.task is not None
+        return self.task.as_single_collection()
+
+
+# ----------------------------------------------------------------------
+# clean entity factories per domain
+# ----------------------------------------------------------------------
+def _make_person(rng: random.Random, index: int) -> Dict[str, object]:
+    first = rng.choice(FIRST_NAMES)
+    last = rng.choice(LAST_NAMES)
+    return {
+        "name": f"{first} {last}",
+        "given_name": first,
+        "family_name": last,
+        "birth_year": str(rng.randint(1940, 2000)),
+        "city": rng.choice(CITIES),
+        "country": rng.choice(COUNTRIES),
+        "occupation": rng.choice(OCCUPATIONS),
+        "affiliation": rng.choice(UNIVERSITIES),
+        "street": f"{rng.randint(1, 250)} {rng.choice(STREET_NAMES)}",
+    }
+
+
+def _make_product(rng: random.Random, index: int) -> Dict[str, object]:
+    brand = rng.choice(PRODUCT_BRANDS)
+    line = rng.choice(PRODUCT_LINES)
+    adjective = rng.choice(PRODUCT_ADJECTIVES)
+    model_number = f"{rng.choice('ABCDEFG')}{rng.randint(100, 999)}"
+    return {
+        "name": f"{brand} {line} {adjective} {model_number}",
+        "brand": brand,
+        "model": f"{line} {adjective} {model_number}",
+        "category": line,
+        "price": str(rng.randint(50, 2500)),
+        "year": str(rng.randint(2005, 2016)),
+    }
+
+
+def _make_publication(rng: random.Random, index: int) -> Dict[str, object]:
+    topic_a, topic_b, topic_c = rng.sample(RESEARCH_TOPICS, 3)
+    # an acronym-like system name makes titles distinctive, as real paper titles are
+    acronym = "".join(rng.choice("BCDFGHKLMNPRSTVZ") for _ in range(4))
+    flavour = rng.choice(("Scalable", "Progressive", "Parallel", "Generic", "Iterative"))
+    return {
+        "title": f"{acronym}: {flavour} {topic_a.title()} for {topic_b.title()} over {topic_c.title()}",
+        "venue": rng.choice(VENUES),
+        "year": str(rng.randint(1998, 2016)),
+        "pages": f"{rng.randint(1, 400)}-{rng.randint(401, 800)}",
+        "topic": (topic_a, topic_b, topic_c),
+    }
+
+
+_DOMAIN_FACTORIES = {
+    "person": _make_person,
+    "product": _make_product,
+    "publication": _make_publication,
+}
+
+
+def _make_universe(config: DatasetConfig, rng: random.Random) -> List[EntityDescription]:
+    """Create one clean description per real-world entity."""
+    if config.domain not in _DOMAIN_FACTORIES:
+        raise ValueError(
+            f"unknown domain {config.domain!r}; expected one of {sorted(_DOMAIN_FACTORIES)}"
+        )
+    factory = _DOMAIN_FACTORIES[config.domain]
+    universe = []
+    for index in range(config.num_entities):
+        attributes = factory(rng, index)
+        universe.append(
+            EntityDescription(f"universe:{config.domain}/{index}", attributes, source="universe")
+        )
+    return universe
+
+
+# ----------------------------------------------------------------------
+# dirty ER workload
+# ----------------------------------------------------------------------
+def generate_dirty_dataset(config: Optional[DatasetConfig] = None) -> GeneratedDataset:
+    """Generate a dirty collection with noisy duplicates and its ground truth.
+
+    Every real-world entity contributes one "original" description (lightly
+    noisy copy of the universe entry) and a random number of further
+    duplicates, each corrupted independently.  Descriptions are shuffled so
+    that duplicates are not adjacent.
+    """
+    config = config or DatasetConfig()
+    rng = random.Random(config.seed)
+    corruption = CorruptionModel(config.noise, seed=config.seed + 1)
+    light_corruption = CorruptionModel(config.noise.scaled(0.3), seed=config.seed + 2)
+
+    universe = _make_universe(config, rng)
+    descriptions: List[EntityDescription] = []
+    ground_truth = GroundTruth()
+
+    max_duplicates = max(0, int(round(2 * config.duplicates_per_entity)))
+    for index, clean in enumerate(universe):
+        cluster = []
+        original_id = f"kb:{config.domain}/{index}-0"
+        original = light_corruption.corrupt_description(clean, original_id, source="kb")
+        descriptions.append(original)
+        cluster.append(original_id)
+
+        num_duplicates = rng.randint(0, max_duplicates) if max_duplicates else 0
+        for copy_index in range(1, num_duplicates + 1):
+            duplicate_id = f"kb:{config.domain}/{index}-{copy_index}"
+            duplicate = corruption.corrupt_description(clean, duplicate_id, source="kb")
+            descriptions.append(duplicate)
+            cluster.append(duplicate_id)
+        ground_truth.add_cluster(cluster)
+
+    rng.shuffle(descriptions)
+    collection = EntityCollection(descriptions, name=f"dirty-{config.domain}")
+    return GeneratedDataset(collection=collection, task=None, ground_truth=ground_truth, config=config)
+
+
+# ----------------------------------------------------------------------
+# clean--clean ER workload
+# ----------------------------------------------------------------------
+def generate_clean_clean_task(config: Optional[DatasetConfig] = None) -> GeneratedDataset:
+    """Generate two duplicate-free collections describing an overlapping universe.
+
+    The left collection (``kbA``) contains every universe entity, lightly
+    corrupted and using one vocabulary style; the right collection (``kbB``)
+    omits a fraction of the entities (``config.missing_in_right``) and uses a
+    different vocabulary style plus the full corruption profile, mimicking two
+    autonomous KBs that describe the same domain differently.
+    """
+    config = config or DatasetConfig()
+    rng = random.Random(config.seed)
+    corruption_left = CorruptionModel(config.noise.scaled(0.3), seed=config.seed + 10)
+    corruption_right = CorruptionModel(config.noise, seed=config.seed + 11)
+
+    universe = _make_universe(config, rng)
+    canonical_attributes = sorted({name for d in universe for name in d.attribute_names})
+    style_left = corruption_left.make_style(canonical_attributes)
+    style_right = corruption_right.make_style(canonical_attributes)
+
+    left_descriptions: List[EntityDescription] = []
+    right_descriptions: List[EntityDescription] = []
+    ground_truth = GroundTruth()
+
+    for index, clean in enumerate(universe):
+        left_id = f"kbA:{config.domain}/{index}"
+        left_descriptions.append(
+            corruption_left.corrupt_description(clean, left_id, source="kbA", attribute_style=style_left)
+        )
+        if rng.random() >= config.missing_in_right:
+            right_id = f"kbB:{config.domain}/{index}"
+            right_descriptions.append(
+                corruption_right.corrupt_description(
+                    clean, right_id, source="kbB", attribute_style=style_right
+                )
+            )
+            ground_truth.add_cluster([left_id, right_id])
+
+    rng.shuffle(left_descriptions)
+    rng.shuffle(right_descriptions)
+    task = CleanCleanTask(
+        EntityCollection(left_descriptions, name="kbA"),
+        EntityCollection(right_descriptions, name="kbB"),
+    )
+    return GeneratedDataset(collection=None, task=task, ground_truth=ground_truth, config=config)
+
+
+# ----------------------------------------------------------------------
+# relational (two-type) workload for collective ER
+# ----------------------------------------------------------------------
+def generate_bibliographic_dataset(
+    num_authors: int = 80,
+    num_publications: int = 200,
+    duplicates_per_publication: float = 1.0,
+    ambiguity: float = 0.35,
+    noise: Optional[CorruptionConfig] = None,
+    seed: int = 7,
+) -> GeneratedDataset:
+    """Generate a publications+authors KB with ambiguous author names.
+
+    The workload is designed so that attribute similarity alone cannot
+    distinguish some author descriptions (several distinct authors share a
+    surname and first initial -- controlled by ``ambiguity``), but the
+    co-authorship / authored-publication relationships disambiguate them.
+    This is the classical setting in which relationship-based (collective)
+    iterative ER outperforms attribute-only matching.
+
+    Duplicates are generated both for publications and for author
+    descriptions; the ground truth covers both entity types.
+    """
+    rng = random.Random(seed)
+    noise_config = noise or CorruptionConfig()
+    corruption = CorruptionModel(noise_config, seed=seed + 1)
+    light = CorruptionModel(noise_config.scaled(0.3), seed=seed + 2)
+
+    # --- author universe, with deliberately shared surnames -------------
+    surname_pool = list(LAST_NAMES[: max(4, int(len(LAST_NAMES) * (1.0 - ambiguity)))])
+    author_universe: List[EntityDescription] = []
+    for index in range(num_authors):
+        first = rng.choice(FIRST_NAMES)
+        last = rng.choice(surname_pool)
+        author_universe.append(
+            EntityDescription(
+                f"universe:author/{index}",
+                {
+                    "name": f"{first} {last}",
+                    "given_name": first,
+                    "family_name": last,
+                    "affiliation": rng.choice(UNIVERSITIES),
+                    "topic": rng.sample(RESEARCH_TOPICS, 2),
+                },
+                source="universe",
+            )
+        )
+
+    # --- publication universe, each linked to 1-3 authors ---------------
+    publication_universe: List[EntityDescription] = []
+    publication_authors: List[Tuple[int, ...]] = []
+    for index in range(num_publications):
+        attributes = _make_publication(rng, index)
+        author_indices = tuple(rng.sample(range(num_authors), rng.randint(1, 3)))
+        publication_authors.append(author_indices)
+        publication_universe.append(
+            EntityDescription(f"universe:publication/{index}", attributes, source="universe")
+        )
+
+    descriptions: List[EntityDescription] = []
+    ground_truth = GroundTruth()
+
+    # materialise author descriptions: one per (publication, author) role plus
+    # a canonical copy, so the same real author appears many times with noise
+    author_copies: Dict[int, List[str]] = {i: [] for i in range(num_authors)}
+
+    def add_author_copy(author_index: int, suffix: str, model: CorruptionModel) -> str:
+        identifier = f"kb:author/{author_index}-{suffix}"
+        clean = author_universe[author_index]
+        descriptions.append(model.corrupt_description(clean, identifier, source="kb"))
+        author_copies[author_index].append(identifier)
+        return identifier
+
+    for author_index in range(num_authors):
+        add_author_copy(author_index, "0", light)
+
+    max_pub_duplicates = max(0, int(round(2 * duplicates_per_publication)))
+    for pub_index, clean in enumerate(publication_universe):
+        copies = rng.randint(0, max_pub_duplicates)
+        cluster = []
+        for copy_index in range(copies + 1):
+            identifier = f"kb:publication/{pub_index}-{copy_index}"
+            model = light if copy_index == 0 else corruption
+            publication = model.corrupt_description(clean, identifier, source="kb")
+            # each publication copy links to its own noisy author copies
+            author_ids = []
+            for author_index in publication_authors[pub_index]:
+                author_id = add_author_copy(author_index, f"p{pub_index}c{copy_index}", corruption)
+                author_ids.append(author_id)
+            publication.add_relationship("author", author_ids)
+            descriptions.append(publication)
+            cluster.append(identifier)
+        ground_truth.add_cluster(cluster)
+
+    for author_index, copies in author_copies.items():
+        ground_truth.add_cluster(copies)
+
+    rng.shuffle(descriptions)
+    collection = EntityCollection(descriptions, name="bibliographic")
+    config = DatasetConfig(
+        num_entities=num_authors + num_publications,
+        duplicates_per_entity=duplicates_per_publication,
+        domain="publication",
+        noise=noise_config,
+        seed=seed,
+    )
+    return GeneratedDataset(collection=collection, task=None, ground_truth=ground_truth, config=config)

@@ -1,0 +1,146 @@
+"""Value pools used by the synthetic generators.
+
+The pools are intentionally small but combinable: entity values are built by
+composing pool elements (e.g. first + last name, brand + product line +
+model number), which yields a realistic skewed token-frequency distribution --
+a few very frequent tokens (brands, common first names, city names) and a
+long tail of rare ones (model numbers, street numbers, titles).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+FIRST_NAMES: Tuple[str, ...] = (
+    "James", "Mary", "John", "Patricia", "Robert", "Jennifer", "Michael", "Linda",
+    "William", "Elizabeth", "David", "Barbara", "Richard", "Susan", "Joseph", "Jessica",
+    "Thomas", "Sarah", "Charles", "Karen", "Christopher", "Nancy", "Daniel", "Lisa",
+    "Matthew", "Margaret", "Anthony", "Betty", "Mark", "Sandra", "Donald", "Ashley",
+    "Steven", "Dorothy", "Paul", "Kimberly", "Andrew", "Emily", "Joshua", "Donna",
+    "Kenneth", "Michelle", "Kevin", "Carol", "Brian", "Amanda", "George", "Melissa",
+    "Nikos", "Maria", "Giorgos", "Eleni", "Kostas", "Katerina", "Vassilis", "Sofia",
+    "Pierre", "Camille", "Jean", "Amelie", "Hans", "Greta", "Lars", "Ingrid",
+)
+
+LAST_NAMES: Tuple[str, ...] = (
+    "Smith", "Johnson", "Williams", "Brown", "Jones", "Garcia", "Miller", "Davis",
+    "Rodriguez", "Martinez", "Hernandez", "Lopez", "Gonzalez", "Wilson", "Anderson",
+    "Thomas", "Taylor", "Moore", "Jackson", "Martin", "Lee", "Perez", "Thompson",
+    "White", "Harris", "Sanchez", "Clark", "Ramirez", "Lewis", "Robinson", "Walker",
+    "Young", "Allen", "King", "Wright", "Scott", "Torres", "Nguyen", "Hill",
+    "Papadakis", "Stefanidis", "Christophides", "Efthymiou", "Palpanas", "Ioannou",
+    "Naumann", "Weikum", "Getoor", "Widom", "Rahm", "Bizer", "Dalvi", "Srivastava",
+)
+
+CITIES: Tuple[str, ...] = (
+    "Athens", "Berlin", "Paris", "London", "Madrid", "Rome", "Vienna", "Prague",
+    "Amsterdam", "Brussels", "Lisbon", "Dublin", "Helsinki", "Tampere", "Oslo",
+    "Stockholm", "Copenhagen", "Warsaw", "Budapest", "Zurich", "Geneva", "Munich",
+    "Hamburg", "Heraklion", "Thessaloniki", "Lyon", "Marseille", "Barcelona",
+    "Valencia", "Porto", "Florence", "Milan", "Naples", "Turin", "Gothenburg",
+    "New York", "Boston", "San Francisco", "Seattle", "Chicago", "Austin", "Toronto",
+)
+
+COUNTRIES: Tuple[str, ...] = (
+    "Greece", "Germany", "France", "United Kingdom", "Spain", "Italy", "Austria",
+    "Czech Republic", "Netherlands", "Belgium", "Portugal", "Ireland", "Finland",
+    "Norway", "Sweden", "Denmark", "Poland", "Hungary", "Switzerland",
+    "United States", "Canada",
+)
+
+UNIVERSITIES: Tuple[str, ...] = (
+    "University of Crete", "University of Tampere", "University of Athens",
+    "Technical University of Berlin", "Sorbonne University", "University of Oxford",
+    "University of Cambridge", "ETH Zurich", "EPFL", "University of Helsinki",
+    "Aalto University", "KTH Royal Institute of Technology", "TU Munich",
+    "Hasso Plattner Institute", "Stanford University", "MIT",
+    "University of Toronto", "University of Washington", "Carnegie Mellon University",
+    "National Technical University of Athens",
+)
+
+OCCUPATIONS: Tuple[str, ...] = (
+    "researcher", "professor", "engineer", "data scientist", "architect",
+    "physician", "teacher", "librarian", "journalist", "economist", "designer",
+    "developer", "analyst", "consultant", "curator", "lawyer", "chemist",
+)
+
+PRODUCT_BRANDS: Tuple[str, ...] = (
+    "Acme", "Globex", "Initech", "Umbrella", "Stark", "Wayne", "Wonka", "Tyrell",
+    "Cyberdyne", "Aperture", "BlackMesa", "Hooli", "Massive", "Soylent", "Vandelay",
+)
+
+PRODUCT_LINES: Tuple[str, ...] = (
+    "laptop", "tablet", "smartphone", "camera", "monitor", "printer", "router",
+    "keyboard", "headphones", "speaker", "drone", "projector", "scanner",
+    "smartwatch", "charger",
+)
+
+PRODUCT_ADJECTIVES: Tuple[str, ...] = (
+    "pro", "ultra", "max", "mini", "air", "plus", "lite", "prime", "neo", "core",
+)
+
+VENUES: Tuple[str, ...] = (
+    "ICDE", "SIGMOD", "VLDB", "EDBT", "CIKM", "WSDM", "WWW", "ISWC", "ESWC",
+    "KDD", "ICDM", "AAAI", "IJCAI", "TKDE", "PVLDB", "Information Systems",
+    "VLDB Journal", "Journal of Web Semantics",
+)
+
+RESEARCH_TOPICS: Tuple[str, ...] = (
+    "entity resolution", "blocking", "meta-blocking", "record linkage",
+    "data integration", "knowledge bases", "linked data", "deduplication",
+    "similarity joins", "crowdsourcing", "query processing", "data cleaning",
+    "schema matching", "graph analytics", "stream processing", "provenance",
+    "information extraction", "recommender systems", "semantic web", "big data",
+)
+
+STREET_NAMES: Tuple[str, ...] = (
+    "Main Street", "High Street", "Station Road", "Church Lane", "Park Avenue",
+    "Mill Road", "Victoria Street", "Green Lane", "King Street", "Queen Street",
+    "School Lane", "North Road", "South Street", "West Avenue", "East Road",
+)
+
+#: Alternative attribute names per canonical attribute, one tuple per
+#: "vocabulary style".  The generator assigns each source KB a style, which is
+#: how structural heterogeneity across KBs is simulated (the tutorial notes
+#: that 58% of LOD vocabularies are proprietary to a single KB).
+ATTRIBUTE_SYNONYMS: Dict[str, Tuple[str, ...]] = {
+    "name": ("name", "label", "rdfs:label", "foaf:name", "full_name", "title"),
+    "given_name": ("given_name", "first_name", "foaf:givenName", "forename"),
+    "family_name": ("family_name", "last_name", "foaf:familyName", "surname"),
+    "birth_year": ("birth_year", "year_of_birth", "dbo:birthYear", "born"),
+    "city": ("city", "location", "dbo:city", "place", "residence"),
+    "country": ("country", "dbo:country", "nation", "state"),
+    "occupation": ("occupation", "profession", "dbo:occupation", "job", "role"),
+    "affiliation": ("affiliation", "employer", "dbo:institution", "works_for", "organisation"),
+    "email": ("email", "foaf:mbox", "mail", "contact"),
+    "street": ("street", "address", "vcard:street-address", "addr"),
+    "title": ("title", "dc:title", "rdfs:label", "name", "heading"),
+    "venue": ("venue", "dc:publisher", "published_in", "booktitle", "journal"),
+    "year": ("year", "dc:date", "dbo:year", "published"),
+    "topic": ("topic", "dc:subject", "keywords", "area", "field"),
+    "brand": ("brand", "manufacturer", "schema:brand", "maker", "producer"),
+    "model": ("model", "schema:model", "product_name", "series"),
+    "price": ("price", "schema:price", "cost", "amount"),
+    "category": ("category", "schema:category", "type", "product_type"),
+}
+
+#: Common abbreviations applied by the corruption model.
+ABBREVIATIONS: Dict[str, str] = {
+    "university": "univ",
+    "institute": "inst",
+    "technology": "tech",
+    "international": "intl",
+    "department": "dept",
+    "street": "st",
+    "avenue": "ave",
+    "road": "rd",
+    "professor": "prof",
+    "doctor": "dr",
+    "journal": "j",
+    "conference": "conf",
+    "national": "natl",
+    "laboratory": "lab",
+    "corporation": "corp",
+    "limited": "ltd",
+    "united": "utd",
+}

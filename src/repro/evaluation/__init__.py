@@ -1,0 +1,42 @@
+"""Evaluation of blocking, matching and progressive ER.
+
+Metrics follow the tutorial's (and the blocking-benchmark literature's)
+terminology:
+
+* **Pair Completeness (PC)** -- fraction of ground-truth matching pairs that
+  co-occur in at least one block (blocking recall).
+* **Pairs Quality (PQ)** -- fraction of distinct comparisons suggested by
+  blocking that are matches (blocking precision).
+* **Reduction Ratio (RR)** -- fraction of the exhaustive comparisons that
+  blocking avoids.
+* Matching precision / recall / F1 at the pair level and cluster level.
+* Progressive recall curves and their normalised area under the curve, the
+  standard quality measure for progressive (pay-as-you-go) ER.
+"""
+
+from repro.evaluation.clusters import ClusterQuality, evaluate_clusters
+from repro.evaluation.curves import ProgressiveRecallCurve, area_under_curve
+from repro.evaluation.metrics import (
+    BlockingQuality,
+    MatchingQuality,
+    evaluate_blocks,
+    evaluate_comparisons,
+    evaluate_matches,
+    f_measure,
+)
+from repro.evaluation.report import StageReport, WorkflowReport
+
+__all__ = [
+    "BlockingQuality",
+    "ClusterQuality",
+    "MatchingQuality",
+    "ProgressiveRecallCurve",
+    "StageReport",
+    "WorkflowReport",
+    "area_under_curve",
+    "evaluate_blocks",
+    "evaluate_clusters",
+    "evaluate_comparisons",
+    "evaluate_matches",
+    "f_measure",
+]

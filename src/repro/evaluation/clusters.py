@@ -1,0 +1,147 @@
+"""Cluster-level evaluation of ER outputs.
+
+Pair-level precision/recall (in :mod:`repro.evaluation.metrics`) is the
+standard measure for blocking and matching, but the final output of ER is a
+*partition* of the descriptions, and partitions are often compared with
+cluster-level measures.  This module implements the three most common ones:
+
+* **cluster precision / recall / F1** -- a produced cluster counts as correct
+  only if it coincides exactly with a ground-truth cluster;
+* **closest-cluster F1** -- each produced cluster is matched to its most
+  similar ground-truth cluster (by Jaccard overlap of their members) and the
+  average similarity is reported in both directions;
+* **variation of information (VI)** -- an information-theoretic distance
+  between the two partitions (0 means identical); lower is better.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, List, Sequence, Set, Tuple
+
+from repro.datamodel.ground_truth import GroundTruth
+from repro.evaluation.metrics import f_measure
+
+
+def _normalise_partition(
+    clusters: Iterable[Iterable[str]], universe: Set[str]
+) -> List[FrozenSet[str]]:
+    """Restrict clusters to ``universe`` and add singletons for uncovered identifiers."""
+    normalised: List[FrozenSet[str]] = []
+    covered: Set[str] = set()
+    for cluster in clusters:
+        members = frozenset(m for m in cluster if m in universe)
+        if members:
+            normalised.append(members)
+            covered.update(members)
+    for identifier in sorted(universe - covered):
+        normalised.append(frozenset({identifier}))
+    return normalised
+
+
+@dataclass(frozen=True)
+class ClusterQuality:
+    """Cluster-level quality of an ER output against the ground truth."""
+
+    cluster_precision: float
+    cluster_recall: float
+    closest_cluster_f1: float
+    variation_of_information: float
+    num_output_clusters: int
+    num_truth_clusters: int
+
+    @property
+    def cluster_f1(self) -> float:
+        return f_measure(self.cluster_precision, self.cluster_recall)
+
+    def as_dict(self) -> dict:
+        return {
+            "cluster_precision": self.cluster_precision,
+            "cluster_recall": self.cluster_recall,
+            "cluster_f1": self.cluster_f1,
+            "closest_cluster_f1": self.closest_cluster_f1,
+            "variation_of_information": self.variation_of_information,
+        }
+
+
+def _jaccard(first: FrozenSet[str], second: FrozenSet[str]) -> float:
+    if not first and not second:
+        return 1.0
+    intersection = len(first & second)
+    if intersection == 0:
+        return 0.0
+    return intersection / (len(first) + len(second) - intersection)
+
+
+def closest_cluster_score(
+    produced: Sequence[FrozenSet[str]], reference: Sequence[FrozenSet[str]]
+) -> float:
+    """Average, over produced clusters, of the best Jaccard overlap with a reference cluster."""
+    if not produced:
+        return 0.0
+    total = 0.0
+    for cluster in produced:
+        total += max((_jaccard(cluster, other) for other in reference), default=0.0)
+    return total / len(produced)
+
+
+def variation_of_information(
+    first: Sequence[FrozenSet[str]], second: Sequence[FrozenSet[str]], universe_size: int
+) -> float:
+    """Variation of information between two partitions of the same universe."""
+    if universe_size == 0:
+        return 0.0
+    vi = 0.0
+    for cluster_a in first:
+        for cluster_b in second:
+            overlap = len(cluster_a & cluster_b)
+            if overlap == 0:
+                continue
+            p_a = len(cluster_a) / universe_size
+            p_b = len(cluster_b) / universe_size
+            p_ab = overlap / universe_size
+            vi -= p_ab * (math.log(p_ab / p_a) + math.log(p_ab / p_b))
+    return vi
+
+
+def evaluate_clusters(
+    clusters: Iterable[Iterable[str]],
+    ground_truth: GroundTruth,
+    universe: Iterable[str],
+) -> ClusterQuality:
+    """Evaluate produced clusters against the ground truth over ``universe``.
+
+    Parameters
+    ----------
+    clusters:
+        The produced clusters (only clusters intersecting the universe count;
+        identifiers outside the universe are dropped).
+    ground_truth:
+        The known equivalence clusters.
+    universe:
+        All identifiers under evaluation (e.g. the collection's identifiers);
+        identifiers not covered by either partition become singletons.
+    """
+    universe_set = set(universe)
+    produced = _normalise_partition(clusters, universe_set)
+    reference = _normalise_partition(ground_truth.clusters, universe_set)
+
+    produced_set = {cluster for cluster in produced}
+    reference_set = {cluster for cluster in reference}
+    exact = len(produced_set & reference_set)
+    cluster_precision = exact / len(produced_set) if produced_set else 0.0
+    cluster_recall = exact / len(reference_set) if reference_set else 0.0
+
+    closest = 0.5 * (
+        closest_cluster_score(produced, reference) + closest_cluster_score(reference, produced)
+    )
+    vi = variation_of_information(produced, reference, len(universe_set))
+    return ClusterQuality(
+        cluster_precision=cluster_precision,
+        cluster_recall=cluster_recall,
+        closest_cluster_f1=closest,
+        variation_of_information=vi,
+        num_output_clusters=len(produced),
+        num_truth_clusters=len(reference),
+    )

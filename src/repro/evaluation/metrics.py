@@ -1,0 +1,243 @@
+"""Blocking and matching quality metrics.
+
+The blocking metrics (PC, PQ, RR) follow the definitions used throughout the
+blocking literature the tutorial surveys; the matching metrics are standard
+pair-level precision/recall/F1 plus cluster-level variants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Optional, Set, Tuple, Union
+
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.ground_truth import GroundTruth
+from repro.datamodel.pairs import Comparison, canonical_pair
+from repro.blocking.base import BlockCollection
+
+
+def f_measure(precision: float, recall: float) -> float:
+    """Harmonic mean of precision and recall (0 when both are 0)."""
+    if precision + recall == 0.0:
+        return 0.0
+    return 2 * precision * recall / (precision + recall)
+
+
+@dataclass(frozen=True)
+class BlockingQuality:
+    """Quality of a set of candidate comparisons w.r.t. the ground truth.
+
+    Attributes
+    ----------
+    pair_completeness:
+        PC: detected matches / existing matches (blocking recall).
+    pairs_quality:
+        PQ: detected matches / distinct comparisons (blocking precision).
+    reduction_ratio:
+        RR: 1 - distinct comparisons / exhaustive comparisons.
+    num_comparisons:
+        Number of distinct comparisons suggested.
+    num_detected_matches:
+        Ground-truth matches that appear among the comparisons.
+    num_total_matches:
+        All ground-truth matches.
+    total_possible_comparisons:
+        Size of the exhaustive comparison space.
+    """
+
+    pair_completeness: float
+    pairs_quality: float
+    reduction_ratio: float
+    num_comparisons: int
+    num_detected_matches: int
+    num_total_matches: int
+    total_possible_comparisons: int
+
+    @property
+    def f_measure(self) -> float:
+        """Harmonic mean of PC and PQ (the CF-measure of the blocking literature)."""
+        return f_measure(self.pairs_quality, self.pair_completeness)
+
+    def as_dict(self) -> dict:
+        return {
+            "PC": self.pair_completeness,
+            "PQ": self.pairs_quality,
+            "RR": self.reduction_ratio,
+            "F": self.f_measure,
+            "comparisons": self.num_comparisons,
+            "detected_matches": self.num_detected_matches,
+            "total_matches": self.num_total_matches,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"PC={self.pair_completeness:.4f} PQ={self.pairs_quality:.4f} "
+            f"RR={self.reduction_ratio:.4f} F={self.f_measure:.4f} "
+            f"comparisons={self.num_comparisons}"
+        )
+
+
+@dataclass(frozen=True)
+class MatchingQuality:
+    """Pair-level quality of a set of declared matches."""
+
+    precision: float
+    recall: float
+    num_declared: int
+    num_correct: int
+    num_total_matches: int
+
+    @property
+    def f1(self) -> float:
+        return f_measure(self.precision, self.recall)
+
+    def as_dict(self) -> dict:
+        return {
+            "precision": self.precision,
+            "recall": self.recall,
+            "f1": self.f1,
+            "declared": self.num_declared,
+            "correct": self.num_correct,
+            "total_matches": self.num_total_matches,
+        }
+
+    def __str__(self) -> str:
+        return (
+            f"precision={self.precision:.4f} recall={self.recall:.4f} "
+            f"f1={self.f1:.4f} declared={self.num_declared}"
+        )
+
+
+def _total_possible(data: Union[EntityCollection, CleanCleanTask, int, None], num_pairs: int) -> int:
+    if data is None:
+        return max(num_pairs, 1)
+    if isinstance(data, int):
+        return data
+    return data.total_comparisons()
+
+
+def _as_pair_set(
+    comparisons: Iterable[Union[Comparison, Tuple[str, str]]],
+) -> Set[Tuple[str, str]]:
+    pairs: Set[Tuple[str, str]] = set()
+    for item in comparisons:
+        if isinstance(item, Comparison):
+            pairs.add(item.pair)
+        else:
+            first, second = item
+            pairs.add(canonical_pair(first, second))
+    return pairs
+
+
+def evaluate_comparisons(
+    comparisons: Iterable[Union[Comparison, Tuple[str, str]]],
+    ground_truth: GroundTruth,
+    data: Union[EntityCollection, CleanCleanTask, int, None] = None,
+) -> BlockingQuality:
+    """Evaluate a set of candidate comparisons against the ground truth.
+
+    Parameters
+    ----------
+    comparisons:
+        The candidate pairs (``Comparison`` objects or identifier tuples).
+    ground_truth:
+        The known matches.
+    data:
+        The ER input (used to compute the exhaustive comparison count for the
+        reduction ratio), or directly the exhaustive count as an ``int``, or
+        ``None`` to skip RR (it is then computed against the candidate count
+        itself and equals 0).
+    """
+    pairs = _as_pair_set(comparisons)
+    true_pairs = ground_truth.matching_pairs()
+    detected = len(pairs & true_pairs)
+    total_matches = len(true_pairs)
+    total_possible = _total_possible(data, len(pairs))
+
+    pair_completeness = detected / total_matches if total_matches else 0.0
+    pairs_quality = detected / len(pairs) if pairs else 0.0
+    reduction_ratio = 1.0 - (len(pairs) / total_possible) if total_possible else 0.0
+    return BlockingQuality(
+        pair_completeness=pair_completeness,
+        pairs_quality=pairs_quality,
+        reduction_ratio=max(0.0, reduction_ratio),
+        num_comparisons=len(pairs),
+        num_detected_matches=detected,
+        num_total_matches=total_matches,
+        total_possible_comparisons=total_possible,
+    )
+
+
+def evaluate_blocks(
+    blocks: BlockCollection,
+    ground_truth: GroundTruth,
+    data: Union[EntityCollection, CleanCleanTask, int, None] = None,
+) -> BlockingQuality:
+    """Evaluate a block collection (its distinct comparisons) against the ground truth."""
+    return evaluate_comparisons(blocks.distinct_pairs(), ground_truth, data)
+
+
+def evaluate_matches(
+    declared_matches: Iterable[Union[Comparison, Tuple[str, str]]],
+    ground_truth: GroundTruth,
+) -> MatchingQuality:
+    """Pair-level precision/recall of declared matches against the ground truth.
+
+    Declared matches are closed transitively before evaluation: declaring
+    (a, b) and (b, c) implies (a, c), since ER outputs are equivalence
+    relations.  Merged identifiers (``"a+b"``) are expanded to their
+    constituents.
+    """
+    truth_pairs = ground_truth.matching_pairs()
+
+    # transitive closure of declared matches via union-find
+    parent: dict = {}
+
+    def find(x: str) -> str:
+        parent.setdefault(x, x)
+        while parent[x] != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a: str, b: str) -> None:
+        root_a, root_b = find(a), find(b)
+        if root_a != root_b:
+            parent[root_b] = root_a
+
+    for item in declared_matches:
+        if isinstance(item, Comparison):
+            first, second = item.pair
+        else:
+            first, second = item
+        # expand merged identifiers into their provenance
+        for left in first.split("+"):
+            for right in second.split("+"):
+                union(left, right)
+        # constituents of the same merged id also match each other
+        for side in (first, second):
+            members = side.split("+")
+            for i in range(1, len(members)):
+                union(members[0], members[i])
+
+    clusters: dict = {}
+    for identifier in parent:
+        clusters.setdefault(find(identifier), []).append(identifier)
+
+    declared_pairs: Set[Tuple[str, str]] = set()
+    for members in clusters.values():
+        members.sort()
+        for i, first in enumerate(members):
+            for second in members[i + 1 :]:
+                declared_pairs.add(canonical_pair(first, second))
+
+    correct = len(declared_pairs & truth_pairs)
+    precision = correct / len(declared_pairs) if declared_pairs else 0.0
+    recall = correct / len(truth_pairs) if truth_pairs else 0.0
+    return MatchingQuality(
+        precision=precision,
+        recall=recall,
+        num_declared=len(declared_pairs),
+        num_correct=correct,
+        num_total_matches=len(truth_pairs),
+    )

@@ -1,0 +1,44 @@
+"""Iterative entity resolution (Section III of the tutorial).
+
+Iterative ER exploits any partial result of the ER process to generate new
+candidate pairs or revise earlier decisions.  The package implements the
+general queue-driven framework (initialisation phase + iterative phase) and
+its two families:
+
+* **merging-based** -- matches are merged and the merged description is
+  compared again (:mod:`repro.iterative.swoosh`, R-Swoosh style, plus the
+  naive fixpoint baseline);
+* **relationship-based** -- matches of related descriptions trigger new or
+  re-prioritised comparisons (:mod:`repro.iterative.collective`).
+
+Iterative blocking (:mod:`repro.iterative.iterative_blocking`) interleaves the
+iterative process with blocking: merges found in one block are propagated to
+all other blocks, saving redundant comparisons and finding extra matches.
+"""
+
+from repro.iterative.collective import AttributeOnlyER, CollectiveER, CollectiveResult
+from repro.iterative.incremental import ArrivalResult, IncrementalResolver
+from repro.iterative.iterative_blocking import (
+    IndependentBlockProcessing,
+    IterativeBlocking,
+    IterativeBlockingResult,
+)
+from repro.iterative.queue import ComparisonQueue, IterativeResult, QueueBasedResolver
+from repro.iterative.swoosh import NaivePairwiseER, RSwoosh, SwooshResult
+
+__all__ = [
+    "ArrivalResult",
+    "AttributeOnlyER",
+    "CollectiveER",
+    "CollectiveResult",
+    "ComparisonQueue",
+    "IncrementalResolver",
+    "IndependentBlockProcessing",
+    "IterativeBlocking",
+    "IterativeBlockingResult",
+    "IterativeResult",
+    "NaivePairwiseER",
+    "QueueBasedResolver",
+    "RSwoosh",
+    "SwooshResult",
+]

@@ -1,0 +1,40 @@
+"""In-process MapReduce simulation for parallel blocking and meta-blocking.
+
+The tutorial discusses MapReduce-based parallelisations of blocking (Dedoop,
+parallel token blocking) and of meta-blocking.  Real clusters are out of scope
+for a laptop reproduction, so this package provides a faithful *simulation*:
+
+* :class:`~repro.mapreduce.engine.MapReduceEngine` executes map, shuffle and
+  reduce phases with a configurable number of workers, charging each worker a
+  per-record cost and reporting the simulated makespan (the maximum per-worker
+  cost), which is what speedup and load-balance experiments measure.
+* :mod:`repro.mapreduce.jobs` defines the parallel token-blocking job and the
+  three-stage parallel meta-blocking jobs.
+* :mod:`repro.mapreduce.balancing` provides reduce-side load-balancing
+  strategies (naive hashing vs. greedy longest-processing-time placement),
+  the knob the parallel meta-blocking papers study under block-size skew.
+"""
+
+from repro.mapreduce.balancing import (
+    GreedyBalancedPartitioner,
+    HashPartitioner,
+    Partitioner,
+)
+from repro.mapreduce.engine import JobStatistics, MapReduceEngine, MapReduceJob
+from repro.mapreduce.jobs import (
+    ParallelMetaBlocking,
+    ParallelTokenBlocking,
+    block_collection_from_reduce_output,
+)
+
+__all__ = [
+    "GreedyBalancedPartitioner",
+    "HashPartitioner",
+    "JobStatistics",
+    "MapReduceEngine",
+    "MapReduceJob",
+    "ParallelMetaBlocking",
+    "ParallelTokenBlocking",
+    "Partitioner",
+    "block_collection_from_reduce_output",
+]

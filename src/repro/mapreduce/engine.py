@@ -1,0 +1,197 @@
+"""A single-process MapReduce engine with simulated parallel cost accounting.
+
+The engine executes a :class:`MapReduceJob` exactly once over its input (so
+results are identical to a sequential run) while *simulating* how the work
+would be spread over ``num_workers`` map and reduce workers:
+
+* the input is split into ``num_workers`` chunks processed by map workers;
+  each map worker is charged ``job.map_cost(record)`` per record;
+* the shuffle groups intermediate pairs by key and the configured
+  :class:`~repro.mapreduce.balancing.Partitioner` assigns groups to reduce
+  workers; each reduce worker is charged ``job.reduce_cost(key, values)`` per
+  group;
+* the simulated wall-clock time (*makespan*) of a phase is the maximum cost
+  charged to any of its workers, and the job makespan is the sum of the two
+  phase makespans.
+
+Speedup and load-balance experiments read these numbers from
+:class:`JobStatistics`; correctness never depends on the worker count.
+"""
+
+from __future__ import annotations
+
+import abc
+from dataclasses import dataclass, field
+from typing import Any, Dict, Generic, Iterable, Iterator, List, Optional, Sequence, Tuple, TypeVar
+
+from repro.mapreduce.balancing import HashPartitioner, Partitioner, load_imbalance
+
+InputRecord = TypeVar("InputRecord")
+Key = str
+Value = Any
+
+
+class MapReduceJob(abc.ABC):
+    """A MapReduce job: map and reduce functions plus optional cost model."""
+
+    name = "job"
+
+    @abc.abstractmethod
+    def map(self, record: Any) -> Iterable[Tuple[Key, Value]]:
+        """Emit intermediate ``(key, value)`` pairs for one input record."""
+
+    @abc.abstractmethod
+    def reduce(self, key: Key, values: List[Value]) -> Iterable[Any]:
+        """Emit output records for one intermediate key and all its values."""
+
+    def combine(self, key: Key, values: List[Value]) -> List[Value]:
+        """Optional combiner applied per map worker before the shuffle (default: identity)."""
+        return values
+
+    # ------------------------------------------------------------------
+    # cost model (simulated time units)
+    # ------------------------------------------------------------------
+    def map_cost(self, record: Any) -> float:
+        """Simulated cost of mapping one record (default 1)."""
+        return 1.0
+
+    def reduce_cost(self, key: Key, values: List[Value]) -> float:
+        """Simulated cost of reducing one group (default: number of values)."""
+        return float(len(values))
+
+
+@dataclass
+class JobStatistics:
+    """Simulated execution statistics of one MapReduce job."""
+
+    job_name: str
+    num_workers: int
+    num_input_records: int = 0
+    num_intermediate_pairs: int = 0
+    num_groups: int = 0
+    num_output_records: int = 0
+    map_worker_costs: List[float] = field(default_factory=list)
+    reduce_worker_costs: List[float] = field(default_factory=list)
+
+    @property
+    def map_makespan(self) -> float:
+        return max(self.map_worker_costs) if self.map_worker_costs else 0.0
+
+    @property
+    def reduce_makespan(self) -> float:
+        return max(self.reduce_worker_costs) if self.reduce_worker_costs else 0.0
+
+    @property
+    def makespan(self) -> float:
+        """Simulated parallel wall-clock time of the job."""
+        return self.map_makespan + self.reduce_makespan
+
+    @property
+    def sequential_cost(self) -> float:
+        """Total work, i.e. the simulated time of a single-worker execution."""
+        return sum(self.map_worker_costs) + sum(self.reduce_worker_costs)
+
+    @property
+    def speedup(self) -> float:
+        """Speedup of the simulated parallel execution over the sequential one."""
+        if self.makespan == 0:
+            return 1.0
+        return self.sequential_cost / self.makespan
+
+    @property
+    def reduce_imbalance(self) -> float:
+        """Reduce-phase load imbalance (max/mean worker cost)."""
+        return load_imbalance(self.reduce_worker_costs)
+
+    def as_dict(self) -> Dict[str, float]:
+        return {
+            "workers": self.num_workers,
+            "input_records": self.num_input_records,
+            "intermediate_pairs": self.num_intermediate_pairs,
+            "groups": self.num_groups,
+            "output_records": self.num_output_records,
+            "makespan": self.makespan,
+            "sequential_cost": self.sequential_cost,
+            "speedup": self.speedup,
+            "reduce_imbalance": self.reduce_imbalance,
+        }
+
+
+class MapReduceEngine:
+    """Executes MapReduce jobs with simulated parallelism.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of simulated map workers and reduce workers.
+    partitioner:
+        Strategy assigning intermediate keys to reduce workers; the default
+        hash partitioner reproduces skew effects, the greedy balanced
+        partitioner mitigates them.
+    use_combiner:
+        Whether to run the job's combiner on each map worker's local output.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        partitioner: Optional[Partitioner] = None,
+        use_combiner: bool = True,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = num_workers
+        self.partitioner = partitioner or HashPartitioner()
+        self.use_combiner = use_combiner
+
+    # ------------------------------------------------------------------
+    def _split_input(self, records: Sequence[Any]) -> List[List[Any]]:
+        """Split the input into one chunk per map worker (contiguous ranges)."""
+        chunks: List[List[Any]] = [[] for _ in range(self.num_workers)]
+        if not records:
+            return chunks
+        chunk_size = max(1, (len(records) + self.num_workers - 1) // self.num_workers)
+        for index, record in enumerate(records):
+            chunks[min(index // chunk_size, self.num_workers - 1)].append(record)
+        return chunks
+
+    def run(self, job: MapReduceJob, records: Sequence[Any]) -> Tuple[List[Any], JobStatistics]:
+        """Execute ``job`` over ``records``; return (outputs, statistics)."""
+        statistics = JobStatistics(job_name=job.name, num_workers=self.num_workers)
+        statistics.num_input_records = len(records)
+
+        # ---------------- map phase ----------------
+        chunks = self._split_input(list(records))
+        grouped: Dict[Key, List[Value]] = {}
+        map_costs: List[float] = []
+        for chunk in chunks:
+            worker_cost = 0.0
+            local: Dict[Key, List[Value]] = {}
+            for record in chunk:
+                worker_cost += job.map_cost(record)
+                for key, value in job.map(record):
+                    local.setdefault(key, []).append(value)
+                    statistics.num_intermediate_pairs += 1
+            if self.use_combiner:
+                local = {key: job.combine(key, values) for key, values in local.items()}
+            for key, values in local.items():
+                grouped.setdefault(key, []).extend(values)
+            map_costs.append(worker_cost)
+        statistics.map_worker_costs = map_costs
+
+        # ---------------- shuffle + reduce phase ----------------
+        statistics.num_groups = len(grouped)
+        group_costs = {key: job.reduce_cost(key, values) for key, values in grouped.items()}
+        assignment = self.partitioner.assign(group_costs, self.num_workers)
+
+        reduce_costs = [0.0] * self.num_workers
+        outputs: List[Any] = []
+        # deterministic processing order: by key
+        for key in sorted(grouped):
+            worker = assignment[key]
+            reduce_costs[worker] += group_costs[key]
+            for output in job.reduce(key, grouped[key]):
+                outputs.append(output)
+        statistics.reduce_worker_costs = reduce_costs
+        statistics.num_output_records = len(outputs)
+        return outputs, statistics

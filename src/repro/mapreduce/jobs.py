@@ -1,0 +1,289 @@
+"""Parallel blocking and meta-blocking as MapReduce jobs.
+
+Two job families are provided, mirroring the MapReduce realisations the
+tutorial cites:
+
+* :class:`ParallelTokenBlocking` -- the classical single-job parallelisation
+  of token blocking: the map phase tokenises descriptions and emits
+  ``(token, identifier)`` pairs, the reduce phase materialises one block per
+  token.
+* :class:`ParallelMetaBlocking` -- the three-stage parallel meta-blocking
+  pipeline: stage 1 builds the entity index (description -> blocks), stage 2
+  enumerates the distinct co-occurring pairs and computes their edge weights
+  (using the broadcast entity index, as the distributed implementations do),
+  and stage 3 applies the pruning scheme -- globally for edge-centric schemes
+  (driver side), per node for node-centric schemes (a reduce per node).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.blocking.base import Block, BlockCollection, ERInput
+from repro.blocking.token_blocking import TokenBlocking
+from repro.datamodel.collection import CleanCleanTask
+from repro.datamodel.pairs import canonical_pair
+from repro.mapreduce.engine import JobStatistics, MapReduceEngine, MapReduceJob
+from repro.metablocking.graph import WeightedEdge
+from repro.text.tokenize import DEFAULT_STOP_WORDS
+
+
+# ----------------------------------------------------------------------
+# parallel token blocking
+# ----------------------------------------------------------------------
+class _TokenBlockingJob(MapReduceJob):
+    """Map: description -> (token, (side, id)); Reduce: token -> block."""
+
+    name = "token_blocking"
+
+    def __init__(self, tokenizer: TokenBlocking, bilateral: bool) -> None:
+        self.tokenizer = tokenizer
+        self.bilateral = bilateral
+
+    def map(self, record) -> Iterable[Tuple[str, Tuple[str, str]]]:
+        side, description = record
+        for token in sorted(self.tokenizer.tokens_of(description)):
+            yield token, (side, description.identifier)
+
+    def reduce(self, key: str, values: List[Tuple[str, str]]) -> Iterable[Block]:
+        if self.bilateral:
+            left = [identifier for side, identifier in values if side == "left"]
+            right = [identifier for side, identifier in values if side == "right"]
+            if left and right:
+                yield Block(key, left_members=left, right_members=right)
+        else:
+            members = [identifier for _, identifier in values]
+            if len(members) >= 2:
+                yield Block(key, members=members)
+
+    def reduce_cost(self, key: str, values: List[Tuple[str, str]]) -> float:
+        # materialising a block costs time proportional to its size (the
+        # comparisons it induces are paid later, by the matching phase)
+        return float(max(1, len(values)))
+
+
+def block_collection_from_reduce_output(blocks: Iterable[Block], name: str) -> BlockCollection:
+    """Wrap reduce outputs (blocks) into a :class:`BlockCollection`, dropping degenerate ones."""
+    collection = BlockCollection(name=name)
+    for block in blocks:
+        collection.add(block)
+    return collection
+
+
+class ParallelTokenBlocking:
+    """Token blocking executed as a MapReduce job on a simulated cluster.
+
+    The produced blocks are identical to those of the sequential
+    :class:`~repro.blocking.token_blocking.TokenBlocking` (up to block order);
+    the added value is the :class:`JobStatistics` describing the simulated
+    parallel execution.
+    """
+
+    name = "parallel_token_blocking"
+
+    def __init__(
+        self,
+        stop_words=DEFAULT_STOP_WORDS,
+        min_token_length: int = 2,
+        max_block_fraction: Optional[float] = None,
+    ) -> None:
+        self.tokenizer = TokenBlocking(
+            stop_words=stop_words,
+            min_token_length=min_token_length,
+            max_block_fraction=max_block_fraction,
+        )
+
+    def build(
+        self, data: ERInput, engine: MapReduceEngine
+    ) -> Tuple[BlockCollection, JobStatistics]:
+        bilateral = isinstance(data, CleanCleanTask)
+        records = list(self.tokenizer._iter_with_side(data))
+        job = _TokenBlockingJob(self.tokenizer, bilateral)
+        outputs, statistics = engine.run(job, records)
+        blocks = block_collection_from_reduce_output(outputs, name=self.name)
+        if self.tokenizer.max_block_fraction is not None and records:
+            limit = max(2, int(self.tokenizer.max_block_fraction * len(records)))
+            blocks = BlockCollection(
+                (block for block in blocks if len(block) <= limit), name=self.name
+            )
+        return blocks, statistics
+
+
+# ----------------------------------------------------------------------
+# parallel meta-blocking (three stages)
+# ----------------------------------------------------------------------
+class _EntityIndexJob(MapReduceJob):
+    """Stage 1: map blocks to (identifier, block index); reduce to the entity index."""
+
+    name = "entity_index"
+
+    def map(self, record) -> Iterable[Tuple[str, int]]:
+        block_index, block = record
+        for identifier in block.members:
+            yield identifier, block_index
+
+    def reduce(self, key: str, values: List[int]) -> Iterable[Tuple[str, Tuple[int, ...]]]:
+        yield key, tuple(sorted(values))
+
+
+class _EdgeWeightJob(MapReduceJob):
+    """Stage 2: enumerate co-occurring pairs per block and weight each distinct pair.
+
+    The entity index and block cardinalities are supplied to every (simulated)
+    worker, mirroring the broadcast/distributed-cache step of the MapReduce
+    implementations.
+    """
+
+    name = "edge_weighting"
+
+    def __init__(
+        self,
+        scheme: str,
+        entity_index: Dict[str, Tuple[int, ...]],
+        block_cardinalities: List[int],
+        total_blocks: int,
+    ) -> None:
+        self.scheme = scheme.upper()
+        self.entity_index = entity_index
+        self.block_cardinalities = block_cardinalities
+        self.total_blocks = max(1, total_blocks)
+
+    def map(self, record) -> Iterable[Tuple[str, Tuple[str, str, int]]]:
+        block_index, block = record
+        for first, second in block.pairs():
+            yield f"{first}|{second}", (first, second, block_index)
+
+    def reduce(self, key: str, values: List[Tuple[str, str, int]]) -> Iterable[WeightedEdge]:
+        first, second, _ = values[0]
+        shared_blocks = sorted({block_index for _, _, block_index in values})
+        blocks_first = self.entity_index.get(first, ())
+        blocks_second = self.entity_index.get(second, ())
+        weight = self._weight(shared_blocks, blocks_first, blocks_second)
+        yield WeightedEdge(first, second, weight)
+
+    def _weight(
+        self,
+        shared_blocks: Sequence[int],
+        blocks_first: Sequence[int],
+        blocks_second: Sequence[int],
+    ) -> float:
+        shared = len(shared_blocks)
+        if shared == 0:
+            return 0.0
+        if self.scheme == "CBS":
+            return float(shared)
+        if self.scheme == "ECBS":
+            return (
+                shared
+                * math.log10(self.total_blocks / max(1, len(blocks_first)) + 1.0)
+                * math.log10(self.total_blocks / max(1, len(blocks_second)) + 1.0)
+            )
+        if self.scheme == "JS":
+            union = len(blocks_first) + len(blocks_second) - shared
+            return shared / union if union else 0.0
+        if self.scheme == "ARCS":
+            return sum(
+                1.0 / self.block_cardinalities[index]
+                for index in shared_blocks
+                if self.block_cardinalities[index] > 0
+            )
+        raise ValueError(
+            f"scheme {self.scheme!r} is not supported by parallel meta-blocking "
+            "(supported: CBS, ECBS, JS, ARCS)"
+        )
+
+    def reduce_cost(self, key: str, values: List[Tuple[str, str, int]]) -> float:
+        return float(len(values))
+
+
+class _NodePruningJob(MapReduceJob):
+    """Stage 3 (node-centric schemes): group edges per node and keep the best ones."""
+
+    name = "node_pruning"
+
+    def __init__(self, mode: str, k: int = 1) -> None:
+        if mode not in ("WNP", "CNP"):
+            raise ValueError("node pruning mode must be WNP or CNP")
+        self.mode = mode
+        self.k = max(1, k)
+
+    def map(self, record: WeightedEdge) -> Iterable[Tuple[str, WeightedEdge]]:
+        yield record.first, record
+        yield record.second, record
+
+    def reduce(self, key: str, values: List[WeightedEdge]) -> Iterable[WeightedEdge]:
+        if self.mode == "WNP":
+            threshold = sum(edge.weight for edge in values) / len(values)
+            for edge in values:
+                if edge.weight >= threshold and edge.weight > 0:
+                    yield edge
+        else:  # CNP
+            ranked = sorted(values, key=lambda e: (-e.weight, e.first, e.second))
+            for edge in ranked[: self.k]:
+                if edge.weight > 0:
+                    yield edge
+
+
+class ParallelMetaBlocking:
+    """Three-stage MapReduce meta-blocking over a simulated cluster.
+
+    Parameters
+    ----------
+    weighting:
+        Weighting scheme name (``"CBS"``, ``"ECBS"``, ``"JS"``, ``"ARCS"``).
+    pruning:
+        Pruning scheme name (``"WEP"``, ``"CEP"``, ``"WNP"``, ``"CNP"``).
+    """
+
+    name = "parallel_metablocking"
+
+    def __init__(self, weighting: str = "CBS", pruning: str = "WEP") -> None:
+        self.weighting = weighting.upper()
+        self.pruning = pruning.upper()
+        if self.pruning not in ("WEP", "CEP", "WNP", "CNP"):
+            raise ValueError("pruning must be one of WEP, CEP, WNP, CNP")
+
+    def run(
+        self, blocks: BlockCollection, engine: MapReduceEngine
+    ) -> Tuple[List[WeightedEdge], List[JobStatistics]]:
+        """Execute the three stages; return retained edges and per-stage statistics."""
+        statistics: List[JobStatistics] = []
+        indexed_blocks = list(enumerate(blocks))
+
+        # stage 1: entity index
+        stage1_outputs, stage1_stats = engine.run(_EntityIndexJob(), indexed_blocks)
+        statistics.append(stage1_stats)
+        entity_index: Dict[str, Tuple[int, ...]] = dict(stage1_outputs)
+
+        # stage 2: edge weighting
+        cardinalities = [block.num_comparisons() for block in blocks]
+        stage2_job = _EdgeWeightJob(self.weighting, entity_index, cardinalities, len(blocks))
+        edges, stage2_stats = engine.run(stage2_job, indexed_blocks)
+        statistics.append(stage2_stats)
+
+        # stage 3: pruning
+        if self.pruning == "WEP":
+            if not edges:
+                return [], statistics
+            threshold = sum(edge.weight for edge in edges) / len(edges)
+            retained = [edge for edge in edges if edge.weight > threshold]
+        elif self.pruning == "CEP":
+            budget = max(1, sum(len(block) for block in blocks) // 2)
+            retained = sorted(edges, key=lambda e: (-e.weight, e.first, e.second))[:budget]
+        else:
+            average_blocks = (
+                sum(len(v) for v in entity_index.values()) / max(1, len(entity_index))
+            )
+            k = max(1, int(round(average_blocks)) - 1)
+            stage3_job = _NodePruningJob(self.pruning, k=k)
+            pruned, stage3_stats = engine.run(stage3_job, edges)
+            statistics.append(stage3_stats)
+            # an edge may be kept by both endpoints: deduplicate
+            seen: Set[Tuple[str, str]] = set()
+            retained = []
+            for edge in pruned:
+                if edge.pair not in seen:
+                    seen.add(edge.pair)
+                    retained.append(edge)
+        return retained, statistics

@@ -1,0 +1,42 @@
+"""Entity matching: deciding whether two descriptions refer to the same entity.
+
+The matching phase consumes the comparisons proposed by blocking (possibly
+re-ordered by a progressive scheduler) and declares matches.  The package
+provides:
+
+* similarity-based matchers over schema-agnostic token profiles and
+  schema-aware weighted attributes (:mod:`repro.matching.matchers`);
+* a ground-truth *oracle* matcher with configurable noise and per-comparison
+  cost, used by experiments that need to isolate scheduling behaviour from
+  matcher quality (:mod:`repro.matching.oracle`);
+* equivalence clustering of pairwise match decisions
+  (:mod:`repro.matching.clustering`).
+"""
+
+from repro.matching.clustering import (
+    CenterClustering,
+    ConnectedComponentsClustering,
+    MergeCenterClustering,
+)
+from repro.matching.matchers import (
+    AttributeWeightedMatcher,
+    MatchDecision,
+    Matcher,
+    ProfileSimilarityMatcher,
+    RuleBasedMatcher,
+    ThresholdRule,
+)
+from repro.matching.oracle import OracleMatcher
+
+__all__ = [
+    "AttributeWeightedMatcher",
+    "CenterClustering",
+    "ConnectedComponentsClustering",
+    "MatchDecision",
+    "Matcher",
+    "MergeCenterClustering",
+    "OracleMatcher",
+    "ProfileSimilarityMatcher",
+    "RuleBasedMatcher",
+    "ThresholdRule",
+]

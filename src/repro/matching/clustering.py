@@ -1,0 +1,179 @@
+"""Clustering of pairwise match decisions into equivalence clusters.
+
+Pairwise decisions are rarely consistent (similarity is not transitive), so a
+clustering step turns the weighted "match graph" into disjoint entity
+clusters.  Three classical algorithms are provided:
+
+* :class:`ConnectedComponentsClustering` -- transitive closure of all declared
+  matches; maximises recall, sensitive to chaining errors.
+* :class:`CenterClustering` -- greedy: edges are scanned heaviest-first, the
+  first unassigned endpoint of an edge becomes a cluster *center* and the
+  other endpoint joins it; later edges can only attach unassigned nodes to
+  centers.
+* :class:`MergeCenterClustering` -- like center clustering, but an edge
+  between two existing centers merges their clusters.
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from repro.datamodel.pairs import Comparison
+from repro.matching.matchers import MatchDecision
+
+
+def _as_weighted_pairs(
+    decisions: Iterable[MatchDecision],
+) -> List[Tuple[str, str, float]]:
+    """Extract (first, second, similarity) for positive decisions only."""
+    pairs = []
+    for decision in decisions:
+        if decision.is_match:
+            first, second = decision.pair
+            pairs.append((first, second, decision.similarity))
+    return pairs
+
+
+class ClusteringAlgorithm(abc.ABC):
+    """Interface: positive match decisions in, equivalence clusters out."""
+
+    name = "clustering"
+
+    @abc.abstractmethod
+    def cluster(self, decisions: Iterable[MatchDecision]) -> List[FrozenSet[str]]:
+        """Return disjoint clusters covering every identifier in a positive decision."""
+
+    @staticmethod
+    def clusters_to_pairs(clusters: Iterable[FrozenSet[str]]) -> Set[Tuple[str, str]]:
+        """All matching pairs induced by the clusters (for evaluation)."""
+        pairs: Set[Tuple[str, str]] = set()
+        for cluster in clusters:
+            members = sorted(cluster)
+            for i, first in enumerate(members):
+                for second in members[i + 1 :]:
+                    pairs.add((first, second))
+        return pairs
+
+
+class ConnectedComponentsClustering(ClusteringAlgorithm):
+    """Transitive closure of declared matches via union--find."""
+
+    name = "connected_components"
+
+    def cluster(self, decisions: Iterable[MatchDecision]) -> List[FrozenSet[str]]:
+        parent: Dict[str, str] = {}
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        def union(a: str, b: str) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_b] = root_a
+
+        for first, second, _ in _as_weighted_pairs(decisions):
+            union(first, second)
+
+        clusters: Dict[str, Set[str]] = {}
+        for identifier in parent:
+            clusters.setdefault(find(identifier), set()).add(identifier)
+        return [frozenset(members) for members in clusters.values()]
+
+
+class CenterClustering(ClusteringAlgorithm):
+    """Greedy center clustering over edges sorted by descending similarity."""
+
+    name = "center"
+
+    def cluster(self, decisions: Iterable[MatchDecision]) -> List[FrozenSet[str]]:
+        edges = _as_weighted_pairs(decisions)
+        edges.sort(key=lambda e: (-e[2], e[0], e[1]))
+
+        cluster_of: Dict[str, str] = {}  # node -> center
+        is_center: Set[str] = set()
+
+        for first, second, _ in edges:
+            assigned_first = first in cluster_of
+            assigned_second = second in cluster_of
+            if not assigned_first and not assigned_second:
+                # first becomes a center, second joins it
+                cluster_of[first] = first
+                is_center.add(first)
+                cluster_of[second] = first
+            elif assigned_first and not assigned_second:
+                if first in is_center:
+                    cluster_of[second] = first
+                else:
+                    # first is a non-center member: second starts its own cluster
+                    cluster_of[second] = second
+                    is_center.add(second)
+            elif assigned_second and not assigned_first:
+                if second in is_center:
+                    cluster_of[first] = second
+                else:
+                    cluster_of[first] = first
+                    is_center.add(first)
+            # both assigned: the edge is ignored (no merging in plain center clustering)
+
+        clusters: Dict[str, Set[str]] = {}
+        for node, center in cluster_of.items():
+            clusters.setdefault(center, set()).add(node)
+        return [frozenset(members) for members in clusters.values()]
+
+
+class MergeCenterClustering(ClusteringAlgorithm):
+    """Center clustering that merges clusters when an edge joins two centers."""
+
+    name = "merge_center"
+
+    def cluster(self, decisions: Iterable[MatchDecision]) -> List[FrozenSet[str]]:
+        edges = _as_weighted_pairs(decisions)
+        edges.sort(key=lambda e: (-e[2], e[0], e[1]))
+
+        parent: Dict[str, str] = {}
+        is_center: Set[str] = set()
+
+        def find(x: str) -> str:
+            parent.setdefault(x, x)
+            root = x
+            while parent[root] != root:
+                root = parent[root]
+            while parent[x] != root:
+                parent[x], x = root, parent[x]
+            return root
+
+        def union(a: str, b: str) -> None:
+            root_a, root_b = find(a), find(b)
+            if root_a != root_b:
+                parent[root_b] = root_a
+
+        assigned: Set[str] = set()
+        for first, second, _ in edges:
+            assigned_first = first in assigned
+            assigned_second = second in assigned
+            if not assigned_first and not assigned_second:
+                is_center.add(first)
+                assigned.update((first, second))
+                union(first, second)
+            elif assigned_first and not assigned_second:
+                assigned.add(second)
+                union(first, second)
+            elif assigned_second and not assigned_first:
+                assigned.add(first)
+                union(second, first)
+            else:
+                # both assigned: merge only if both are centers
+                if find(first) != find(second) and first in is_center and second in is_center:
+                    union(first, second)
+
+        clusters: Dict[str, Set[str]] = {}
+        for identifier in assigned:
+            clusters.setdefault(find(identifier), set()).add(identifier)
+        return [frozenset(members) for members in clusters.values()]

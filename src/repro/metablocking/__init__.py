@@ -1,0 +1,55 @@
+"""Meta-blocking: restructuring a block collection to prune unpromising comparisons.
+
+Meta-blocking transforms a block collection into a *blocking graph* whose
+nodes are descriptions and whose edges connect descriptions co-occurring in at
+least one block (eliminating redundant comparisons by construction).  Every
+edge receives a weight that estimates the matching likelihood of the adjacent
+descriptions using block co-occurrence statistics only; low-weighted edges are
+pruned.  The classical scheme combinations are:
+
+* weighting: :data:`~repro.metablocking.weighting.CBS`, ``ECBS``, ``JS``,
+  ``EJS``, ``ARCS``;
+* pruning: weighted/cardinality edge pruning (WEP/CEP) and weighted/cardinality
+  node pruning (WNP/CNP), plus their reciprocal variants.
+"""
+
+from repro.metablocking.graph import BlockingGraph, WeightedEdge
+from repro.metablocking.pipeline import MetaBlocking
+from repro.metablocking.pruning import (
+    CardinalityEdgePruning,
+    CardinalityNodePruning,
+    PruningScheme,
+    ReciprocalCardinalityNodePruning,
+    ReciprocalWeightedNodePruning,
+    WeightedEdgePruning,
+    WeightedNodePruning,
+)
+from repro.metablocking.weighting import (
+    ARCS,
+    CBS,
+    ECBS,
+    EJS,
+    JS,
+    WeightingScheme,
+    get_weighting_scheme,
+)
+
+__all__ = [
+    "ARCS",
+    "CBS",
+    "ECBS",
+    "EJS",
+    "JS",
+    "BlockingGraph",
+    "CardinalityEdgePruning",
+    "CardinalityNodePruning",
+    "MetaBlocking",
+    "PruningScheme",
+    "ReciprocalCardinalityNodePruning",
+    "ReciprocalWeightedNodePruning",
+    "WeightedEdge",
+    "WeightedEdgePruning",
+    "WeightedNodePruning",
+    "WeightingScheme",
+    "get_weighting_scheme",
+]

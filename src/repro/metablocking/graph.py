@@ -1,0 +1,127 @@
+"""The blocking graph.
+
+Nodes are description identifiers; an (undirected) edge connects two
+descriptions that co-occur in at least one block.  No parallel edges exist, so
+all redundant comparisons of the input block collection are eliminated by
+construction.  Each edge carries the co-occurrence statistics that the
+weighting schemes consume:
+
+* the set of blocks shared by the two descriptions,
+* the aggregate cardinality of those shared blocks,
+* per-node statistics (number of blocks containing each description, total
+  comparisons each description participates in).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.blocking.base import BlockCollection
+from repro.datamodel.pairs import Comparison, canonical_pair
+
+
+@dataclass(frozen=True)
+class WeightedEdge:
+    """An edge of the blocking graph with its final weight."""
+
+    first: str
+    second: str
+    weight: float
+
+    @property
+    def pair(self) -> Tuple[str, str]:
+        return (self.first, self.second)
+
+    def as_comparison(self) -> Comparison:
+        return Comparison(self.first, self.second, weight=self.weight)
+
+
+class BlockingGraph:
+    """Blocking graph built from a block collection.
+
+    The graph stores, for every distinct co-occurring pair, the indices of the
+    blocks in which the pair co-occurs, plus per-node block membership.  The
+    construction cost is proportional to the aggregate cardinality of the
+    input blocks, exactly as in the sequential meta-blocking algorithms.
+    """
+
+    def __init__(self, blocks: BlockCollection) -> None:
+        self.blocks = blocks
+        #: pair -> indices of blocks shared by the pair
+        self._shared_blocks: Dict[Tuple[str, str], List[int]] = {}
+        #: identifier -> indices of blocks containing it
+        self._node_blocks: Dict[str, List[int]] = blocks.entity_index()
+        #: per-block number of comparisons (cached)
+        self._block_cardinalities: List[int] = [block.num_comparisons() for block in blocks]
+
+        for block_index, block in enumerate(blocks):
+            for first, second in block.pairs():
+                self._shared_blocks.setdefault((first, second), []).append(block_index)
+
+    # ------------------------------------------------------------------
+    # structure
+    # ------------------------------------------------------------------
+    @property
+    def num_nodes(self) -> int:
+        return len(self._node_blocks)
+
+    @property
+    def num_edges(self) -> int:
+        return len(self._shared_blocks)
+
+    def nodes(self) -> Iterator[str]:
+        return iter(self._node_blocks)
+
+    def edges(self) -> Iterator[Tuple[str, str]]:
+        return iter(self._shared_blocks)
+
+    def neighbors(self, identifier: str) -> Set[str]:
+        """All descriptions sharing at least one block with ``identifier``."""
+        result: Set[str] = set()
+        for block_index in self._node_blocks.get(identifier, ()):
+            for member in self.blocks[block_index].members:
+                if member != identifier:
+                    if self.blocks[block_index].is_bilateral:
+                        # only cross-collection neighbours are valid comparisons
+                        left = set(self.blocks[block_index].left_members)
+                        same_side = (identifier in left) == (member in left)
+                        if same_side:
+                            continue
+                    result.add(member)
+        return result
+
+    # ------------------------------------------------------------------
+    # statistics consumed by weighting schemes
+    # ------------------------------------------------------------------
+    def shared_blocks(self, first: str, second: str) -> List[int]:
+        """Indices of the blocks in which the pair co-occurs (empty if not adjacent)."""
+        return list(self._shared_blocks.get(canonical_pair(first, second), ()))
+
+    def num_shared_blocks(self, first: str, second: str) -> int:
+        return len(self._shared_blocks.get(canonical_pair(first, second), ()))
+
+    def node_blocks(self, identifier: str) -> List[int]:
+        """Indices of the blocks containing ``identifier``."""
+        return list(self._node_blocks.get(identifier, ()))
+
+    def num_node_blocks(self, identifier: str) -> int:
+        return len(self._node_blocks.get(identifier, ()))
+
+    def node_degree(self, identifier: str) -> int:
+        """Number of distinct comparisons (graph degree) of ``identifier``."""
+        return len(self.neighbors(identifier))
+
+    def block_cardinality(self, block_index: int) -> int:
+        return self._block_cardinalities[block_index]
+
+    def total_blocks(self) -> int:
+        return len(self.blocks)
+
+    def average_blocks_per_node(self) -> float:
+        if not self._node_blocks:
+            return 0.0
+        return sum(len(b) for b in self._node_blocks.values()) / len(self._node_blocks)
+
+    def __repr__(self) -> str:
+        return f"BlockingGraph(nodes={self.num_nodes}, edges={self.num_edges})"

@@ -1,0 +1,111 @@
+"""End-to-end meta-blocking: block collection in, restructured comparisons out.
+
+:class:`MetaBlocking` wires together the blocking graph, a weighting scheme
+and a pruning scheme.  Its output can be consumed in two forms:
+
+* :meth:`MetaBlocking.weighted_comparisons` -- the retained edges as weighted
+  :class:`~repro.datamodel.pairs.Comparison` objects (the natural input of a
+  progressive scheduler, which wants the matching-likelihood estimates);
+* :meth:`MetaBlocking.process` -- a restructured
+  :class:`~repro.blocking.base.BlockCollection` with one (two-member) block
+  per retained edge (the natural input of a conventional matching phase).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Union
+
+from repro.blocking.base import Block, BlockCollection
+from repro.datamodel.collection import CleanCleanTask
+from repro.datamodel.pairs import Comparison
+from repro.metablocking.graph import BlockingGraph, WeightedEdge
+from repro.metablocking.pruning import PruningScheme, WeightedEdgePruning, get_pruning_scheme
+from repro.metablocking.weighting import CBS, WeightingScheme, get_weighting_scheme
+
+
+class MetaBlocking:
+    """Meta-blocking pipeline with pluggable weighting and pruning schemes.
+
+    Parameters
+    ----------
+    weighting:
+        A :class:`WeightingScheme` instance or its name (``"CBS"``, ``"ECBS"``,
+        ``"JS"``, ``"EJS"``, ``"ARCS"``).
+    pruning:
+        A :class:`PruningScheme` instance or its name (``"WEP"``, ``"CEP"``,
+        ``"WNP"``, ``"CNP"``, ``"ReciprocalWNP"``, ``"ReciprocalCNP"``).
+    """
+
+    def __init__(
+        self,
+        weighting: Union[WeightingScheme, str, None] = None,
+        pruning: Union[PruningScheme, str, None] = None,
+    ) -> None:
+        if weighting is None:
+            self.weighting: WeightingScheme = CBS()
+        elif isinstance(weighting, str):
+            self.weighting = get_weighting_scheme(weighting)
+        else:
+            self.weighting = weighting
+        if pruning is None:
+            self.pruning: PruningScheme = WeightedEdgePruning()
+        elif isinstance(pruning, str):
+            self.pruning = get_pruning_scheme(pruning)
+        else:
+            self.pruning = pruning
+        #: statistics of the last run, reported by benchmarks
+        self.last_input_comparisons = 0
+        self.last_graph_edges = 0
+        self.last_retained_edges = 0
+
+    @property
+    def name(self) -> str:
+        return f"metablocking[{self.weighting.name}+{self.pruning.name}]"
+
+    # ------------------------------------------------------------------
+    def build_graph(self, blocks: BlockCollection) -> BlockingGraph:
+        """Construct the blocking graph of ``blocks``."""
+        return BlockingGraph(blocks)
+
+    def retained_edges(self, blocks: BlockCollection) -> List[WeightedEdge]:
+        """Weight the graph and return the edges surviving the pruning scheme."""
+        graph = self.build_graph(blocks)
+        self.last_input_comparisons = blocks.total_comparisons()
+        self.last_graph_edges = graph.num_edges
+        retained = self.pruning.prune(graph, self.weighting)
+        self.last_retained_edges = len(retained)
+        return retained
+
+    def weighted_comparisons(self, blocks: BlockCollection) -> List[Comparison]:
+        """The retained edges as weighted comparisons, heaviest first."""
+        edges = self.retained_edges(blocks)
+        edges.sort(key=lambda e: (-e.weight, e.first, e.second))
+        return [edge.as_comparison() for edge in edges]
+
+    def process(
+        self,
+        blocks: BlockCollection,
+        data: Optional[CleanCleanTask] = None,
+    ) -> BlockCollection:
+        """Return a restructured block collection: one block per retained edge.
+
+        When ``data`` is a clean--clean task the blocks are bilateral so that
+        downstream components keep treating the comparisons as
+        cross-collection ones.
+        """
+        edges = self.retained_edges(blocks)
+        restructured = BlockCollection(name=self.name)
+        for edge in edges:
+            key = f"edge:{edge.first}|{edge.second}"
+            if data is not None and isinstance(data, CleanCleanTask):
+                if edge.first in data.left:
+                    restructured.add(
+                        Block(key, left_members=[edge.first], right_members=[edge.second])
+                    )
+                else:
+                    restructured.add(
+                        Block(key, left_members=[edge.second], right_members=[edge.first])
+                    )
+            else:
+                restructured.add(Block(key, members=[edge.first, edge.second]))
+        return restructured

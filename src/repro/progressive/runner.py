@@ -1,0 +1,123 @@
+"""Executing a progressive scheduler under a budget and recording its curve.
+
+:func:`run_progressive` is the driver shared by the examples and the
+progressive benchmarks: it draws comparisons from a scheduler, resolves them
+with a matcher while a :class:`~repro.progressive.budget.Budget` lasts, feeds
+every decision back to the scheduler (the update phase), and records the
+progressive recall curve against the ground truth (when provided).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set, Tuple, Union
+
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.ground_truth import GroundTruth
+from repro.datamodel.pairs import Comparison
+from repro.evaluation.curves import ProgressiveRecallCurve
+from repro.matching.matchers import MatchDecision, Matcher
+from repro.progressive.budget import Budget
+from repro.progressive.schedulers import CandidateSource, ERInput, ProgressiveScheduler
+
+
+@dataclass
+class ProgressiveResult:
+    """Outcome of a budgeted progressive run."""
+
+    scheduler_name: str
+    comparisons_executed: int = 0
+    declared_matches: List[Tuple[str, str]] = field(default_factory=list)
+    true_matches_found: int = 0
+    budget_spent: float = 0.0
+    curve: Optional[ProgressiveRecallCurve] = None
+    decisions: List[MatchDecision] = field(default_factory=list)
+
+    @property
+    def recall(self) -> float:
+        """Final recall of the run (0 when no ground truth was supplied)."""
+        if self.curve is None:
+            return 0.0
+        return self.curve.final_recall()
+
+    @property
+    def auc(self) -> float:
+        """Normalised area under the progressive recall curve (0 without ground truth)."""
+        if self.curve is None:
+            return 0.0
+        return self.curve.auc()
+
+
+def run_progressive(
+    scheduler: ProgressiveScheduler,
+    matcher: Matcher,
+    data: ERInput,
+    candidates: CandidateSource,
+    budget: Union[Budget, int, None] = None,
+    ground_truth: Optional[GroundTruth] = None,
+    keep_decisions: bool = False,
+) -> ProgressiveResult:
+    """Run ``scheduler`` against ``matcher`` until the budget is exhausted.
+
+    Parameters
+    ----------
+    scheduler:
+        The progressive scheduler deciding the comparison order.
+    matcher:
+        The pairwise matcher; its per-decision ``cost`` is charged to the budget.
+    data:
+        The entity collection or clean--clean task being resolved.
+    candidates:
+        Candidate comparisons (a block collection or a comparison sequence).
+    budget:
+        A :class:`Budget`, a plain integer budget, or ``None`` for unlimited.
+    ground_truth:
+        When given, the progressive recall curve counts *true* matches among
+        the declared ones; without it, no curve is recorded.
+    keep_decisions:
+        Whether to retain every :class:`MatchDecision` in the result (memory
+        heavy for large runs; benchmarks usually keep it off).
+    """
+    if budget is None:
+        budget_obj = Budget(None)
+    elif isinstance(budget, Budget):
+        budget_obj = budget
+    else:
+        budget_obj = Budget(float(budget))
+
+    curve = None
+    if ground_truth is not None:
+        max_comparisons = int(budget_obj.total) if budget_obj.total is not None else None
+        curve = ProgressiveRecallCurve(ground_truth, budget=max_comparisons)
+
+    result = ProgressiveResult(scheduler_name=scheduler.name, curve=curve)
+    seen_matches: Set[Tuple[str, str]] = set()
+
+    for comparison in scheduler.schedule(data, candidates):
+        first = data.get(comparison.first)
+        second = data.get(comparison.second)
+        if first is None or second is None:
+            continue
+        decision = matcher.decide(first, second)
+        if not budget_obj.charge(decision.cost):
+            break
+        result.comparisons_executed += 1
+        scheduler.feedback(decision)
+        if keep_decisions:
+            result.decisions.append(decision)
+
+        is_true_match = False
+        if decision.is_match:
+            result.declared_matches.append(decision.pair)
+            if ground_truth is not None:
+                is_true_match = (
+                    ground_truth.are_matches(*decision.pair) and decision.pair not in seen_matches
+                )
+                if is_true_match:
+                    seen_matches.add(decision.pair)
+                    result.true_matches_found += 1
+        if curve is not None:
+            curve.record(comparison, is_match=is_true_match)
+
+    result.budget_spent = budget_obj.spent
+    return result

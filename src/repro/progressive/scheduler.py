@@ -1,0 +1,160 @@
+"""The windowed cost--benefit scheduler with an influence graph.
+
+This scheduler follows the progressive approach to relational ER: candidate
+pairs are the nodes of an *influence graph*, with an edge between two pairs
+when resolving one influences the resolution of the other (here: the pairs
+share a description, or their descriptions are connected by a relationship).
+The total cost budget is divided into windows of equal cost; for every window
+the scheduler selects, among the unresolved pairs, the set with the highest
+*expected benefit* that fits in the window.  The benefit of a pair combines
+
+* its base matching likelihood (its meta-blocking weight, normalised), and
+* an influence bonus proportional to the number of already-resolved matches
+  among its influencing neighbours -- so once matches are found, the pairs
+  they influence rise to the top of subsequent windows (the update phase).
+
+The scheduler degrades gracefully to a static best-first order when
+``influence_weight`` is 0 (used as an ablation in benchmark E9).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.pairs import Comparison
+from repro.matching.matchers import MatchDecision
+from repro.progressive.schedulers import (
+    CandidateSource,
+    ERInput,
+    ProgressiveScheduler,
+    candidate_comparisons,
+)
+
+
+class CostBenefitScheduler(ProgressiveScheduler):
+    """Windowed cost--benefit scheduling over an influence graph of candidate pairs.
+
+    Parameters
+    ----------
+    window_size:
+        Cost (number of comparisons, assuming unit cost) allotted to each
+        scheduling window.
+    influence_weight:
+        Weight of the influence bonus relative to the base likelihood.
+    use_relationships:
+        Whether relationship links between descriptions also create influence
+        edges between their candidate pairs (in addition to shared
+        descriptions).
+    """
+
+    name = "cost_benefit"
+
+    def __init__(
+        self,
+        window_size: int = 50,
+        influence_weight: float = 0.5,
+        use_relationships: bool = True,
+    ) -> None:
+        if window_size < 1:
+            raise ValueError("window size must be at least 1")
+        if influence_weight < 0:
+            raise ValueError("influence weight must be non-negative")
+        self.window_size = window_size
+        self.influence_weight = influence_weight
+        self.use_relationships = use_relationships
+        # state shared with feedback()
+        self._match_results: Dict[Tuple[str, str], bool] = {}
+        self.windows_executed = 0
+
+    # ------------------------------------------------------------------
+    def feedback(self, decision: MatchDecision) -> None:
+        self._match_results[decision.pair] = decision.is_match
+
+    # ------------------------------------------------------------------
+    def _relationship_neighbours(self, data: ERInput) -> Dict[str, Set[str]]:
+        """identifier -> identifiers related through an entity relationship."""
+        neighbours: Dict[str, Set[str]] = {}
+        descriptions = list(data)
+        known = {description.identifier for description in descriptions}
+        for description in descriptions:
+            for target in description.related():
+                if target in known:
+                    neighbours.setdefault(description.identifier, set()).add(target)
+                    neighbours.setdefault(target, set()).add(description.identifier)
+        return neighbours
+
+    def _build_influence(
+        self, data: ERInput, comparisons: Sequence[Comparison]
+    ) -> Dict[Tuple[str, str], Set[Tuple[str, str]]]:
+        """Influence edges between candidate pairs."""
+        pairs_of_identifier: Dict[str, List[Tuple[str, str]]] = {}
+        for comparison in comparisons:
+            for identifier in comparison.pair:
+                pairs_of_identifier.setdefault(identifier, []).append(comparison.pair)
+
+        influence: Dict[Tuple[str, str], Set[Tuple[str, str]]] = {
+            comparison.pair: set() for comparison in comparisons
+        }
+        # pairs sharing a description influence each other
+        for identifier, pairs in pairs_of_identifier.items():
+            for i in range(len(pairs)):
+                for j in range(i + 1, len(pairs)):
+                    influence[pairs[i]].add(pairs[j])
+                    influence[pairs[j]].add(pairs[i])
+
+        if self.use_relationships:
+            neighbours = self._relationship_neighbours(data)
+            for comparison in comparisons:
+                first, second = comparison.pair
+                related = neighbours.get(first, set()) | neighbours.get(second, set())
+                for related_id in related:
+                    for other_pair in pairs_of_identifier.get(related_id, ()):
+                        if other_pair != comparison.pair:
+                            influence[comparison.pair].add(other_pair)
+                            influence[other_pair].add(comparison.pair)
+        return influence
+
+    # ------------------------------------------------------------------
+    def schedule(self, data: ERInput, candidates: CandidateSource) -> Iterator[Comparison]:
+        comparisons = candidate_comparisons(candidates)
+        if not comparisons:
+            return
+        self._match_results.clear()
+        self.windows_executed = 0
+
+        # normalised base likelihoods from the comparison weights
+        weights = [c.weight if c.weight is not None else 0.0 for c in comparisons]
+        max_weight = max(weights) if weights else 0.0
+        base_benefit: Dict[Tuple[str, str], float] = {}
+        comparison_by_pair: Dict[Tuple[str, str], Comparison] = {}
+        for comparison, weight in zip(comparisons, weights):
+            base_benefit[comparison.pair] = (weight / max_weight) if max_weight > 0 else 0.0
+            comparison_by_pair[comparison.pair] = comparison
+
+        influence = self._build_influence(data, comparisons)
+        unresolved: Set[Tuple[str, str]] = set(base_benefit)
+
+        while unresolved:
+            # benefit = base likelihood + influence bonus from resolved matches
+            def benefit(pair: Tuple[str, str]) -> float:
+                bonus = 0.0
+                if self.influence_weight > 0:
+                    influencing = influence.get(pair, ())
+                    resolved_matches = sum(
+                        1 for other in influencing if self._match_results.get(other)
+                    )
+                    if influencing:
+                        bonus = self.influence_weight * (resolved_matches / len(influencing))
+                        # a direct resolved match sharing a description is the strongest signal
+                        if resolved_matches:
+                            bonus += self.influence_weight * 0.5
+                return base_benefit[pair] + bonus
+
+            window = sorted(unresolved, key=lambda p: (-benefit(p), p))[: self.window_size]
+            if not window:
+                break
+            self.windows_executed += 1
+            for pair in window:
+                unresolved.discard(pair)
+                yield comparison_by_pair[pair]

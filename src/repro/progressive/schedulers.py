@@ -1,0 +1,98 @@
+"""The progressive scheduler interface and order-based baseline schedulers.
+
+A progressive scheduler decides which candidate comparisons reach the matcher
+and in what order.  The interface is a generator (:meth:`ProgressiveScheduler.schedule`)
+plus a feedback hook (:meth:`ProgressiveScheduler.feedback`) through which the
+runner reports every match decision, enabling schedulers that adapt their
+order to the matches found so far (the "update" phase of the tutorial's
+Figure 1).
+"""
+
+from __future__ import annotations
+
+import abc
+import random
+from typing import Iterable, Iterator, List, Optional, Sequence, Union
+
+from repro.blocking.base import BlockCollection
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.pairs import Comparison
+from repro.matching.matchers import MatchDecision
+
+ERInput = Union[EntityCollection, CleanCleanTask]
+CandidateSource = Union[BlockCollection, Sequence[Comparison]]
+
+
+def candidate_comparisons(candidates: CandidateSource) -> List[Comparison]:
+    """Normalise a candidate source (blocks or comparisons) into distinct comparisons."""
+    if isinstance(candidates, BlockCollection):
+        return list(candidates.distinct_comparisons())
+    seen = set()
+    distinct = []
+    for comparison in candidates:
+        if comparison.pair not in seen:
+            seen.add(comparison.pair)
+            distinct.append(comparison)
+    return distinct
+
+
+class ProgressiveScheduler(abc.ABC):
+    """Interface of a progressive comparison scheduler."""
+
+    name = "scheduler"
+
+    @abc.abstractmethod
+    def schedule(self, data: ERInput, candidates: CandidateSource) -> Iterator[Comparison]:
+        """Yield comparisons in the order they should be executed."""
+
+    def feedback(self, decision: MatchDecision) -> None:
+        """Receive the decision of the last executed comparison (default: ignored)."""
+
+
+class RandomOrderScheduler(ProgressiveScheduler):
+    """Baseline: executes the candidate comparisons in a random (seeded) order.
+
+    This models the non-progressive workflow, whose recall grows linearly with
+    the consumed budget in expectation.
+    """
+
+    name = "random_order"
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = seed
+
+    def schedule(self, data: ERInput, candidates: CandidateSource) -> Iterator[Comparison]:
+        comparisons = candidate_comparisons(candidates)
+        rng = random.Random(self.seed)
+        rng.shuffle(comparisons)
+        yield from comparisons
+
+
+class WeightOrderScheduler(ProgressiveScheduler):
+    """Static best-first order by comparison weight (e.g. meta-blocking weight).
+
+    Comparisons without a weight are ranked after all weighted ones, in a
+    deterministic order.  There is no update phase: the order is fixed up
+    front, which is what distinguishes it from the adaptive schedulers.
+    """
+
+    name = "weight_order"
+
+    def schedule(self, data: ERInput, candidates: CandidateSource) -> Iterator[Comparison]:
+        comparisons = candidate_comparisons(candidates)
+        comparisons.sort(
+            key=lambda c: (-(c.weight if c.weight is not None else float("-inf")), c.first, c.second)
+        )
+        yield from comparisons
+
+
+class StaticOrderScheduler(ProgressiveScheduler):
+    """Executes a pre-computed comparison order verbatim (utility for tests/benchmarks)."""
+
+    name = "static_order"
+
+    def __init__(self, order: Sequence[Comparison]) -> None:
+        self.order = list(order)
+
+    def schedule(self, data: ERInput, candidates: CandidateSource) -> Iterator[Comparison]:
+        yield from self.order

@@ -1,0 +1,211 @@
+"""String and set similarity measures.
+
+These are the similarity primitives referenced throughout the tutorial:
+set-based measures over token sets (Jaccard, Dice, overlap, cosine),
+character-based edit measures (Levenshtein, Jaro, Jaro--Winkler) and the
+hybrid Monge--Elkan measure that combines the two levels.  All similarities
+are in ``[0, 1]`` with 1 meaning identical.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable, List, Sequence, Set
+
+
+# ----------------------------------------------------------------------
+# set-based measures
+# ----------------------------------------------------------------------
+def jaccard_similarity(first: Iterable[str], second: Iterable[str]) -> float:
+    """Jaccard coefficient ``|A ∩ B| / |A ∪ B|`` of two token collections."""
+    set_a, set_b = set(first), set(second)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    intersection = len(set_a & set_b)
+    union = len(set_a) + len(set_b) - intersection
+    return intersection / union
+
+
+def dice_similarity(first: Iterable[str], second: Iterable[str]) -> float:
+    """Sørensen--Dice coefficient ``2|A ∩ B| / (|A| + |B|)``."""
+    set_a, set_b = set(first), set(second)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return 2 * len(set_a & set_b) / (len(set_a) + len(set_b))
+
+
+def overlap_coefficient(first: Iterable[str], second: Iterable[str]) -> float:
+    """Overlap coefficient ``|A ∩ B| / min(|A|, |B|)``."""
+    set_a, set_b = set(first), set(second)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / min(len(set_a), len(set_b))
+
+
+def cosine_similarity(first: Iterable[str], second: Iterable[str]) -> float:
+    """Unweighted set cosine ``|A ∩ B| / sqrt(|A| |B|)``."""
+    set_a, set_b = set(first), set(second)
+    if not set_a and not set_b:
+        return 1.0
+    if not set_a or not set_b:
+        return 0.0
+    return len(set_a & set_b) / (len(set_a) * len(set_b)) ** 0.5
+
+
+# ----------------------------------------------------------------------
+# character-based measures
+# ----------------------------------------------------------------------
+def levenshtein_distance(first: str, second: str) -> int:
+    """Edit distance (insertions, deletions, substitutions) between two strings."""
+    if first == second:
+        return 0
+    if not first:
+        return len(second)
+    if not second:
+        return len(first)
+    # keep the shorter string in the inner dimension for memory locality
+    if len(second) > len(first):
+        first, second = second, first
+    previous = list(range(len(second) + 1))
+    for i, char_a in enumerate(first, start=1):
+        current = [i]
+        for j, char_b in enumerate(second, start=1):
+            substitution_cost = 0 if char_a == char_b else 1
+            current.append(
+                min(
+                    previous[j] + 1,  # deletion
+                    current[j - 1] + 1,  # insertion
+                    previous[j - 1] + substitution_cost,
+                )
+            )
+        previous = current
+    return previous[-1]
+
+
+def levenshtein_similarity(first: str, second: str) -> float:
+    """Normalised edit similarity ``1 - distance / max(len)``."""
+    if not first and not second:
+        return 1.0
+    longest = max(len(first), len(second))
+    return 1.0 - levenshtein_distance(first, second) / longest
+
+
+def jaro_similarity(first: str, second: str) -> float:
+    """Jaro similarity, designed for short name-like strings."""
+    if first == second:
+        return 1.0
+    if not first or not second:
+        return 0.0
+    match_window = max(len(first), len(second)) // 2 - 1
+    match_window = max(match_window, 0)
+    matches_a = [False] * len(first)
+    matches_b = [False] * len(second)
+    matches = 0
+    for i, char_a in enumerate(first):
+        start = max(0, i - match_window)
+        end = min(i + match_window + 1, len(second))
+        for j in range(start, end):
+            if matches_b[j] or second[j] != char_a:
+                continue
+            matches_a[i] = True
+            matches_b[j] = True
+            matches += 1
+            break
+    if matches == 0:
+        return 0.0
+    transpositions = 0
+    j = 0
+    for i, matched in enumerate(matches_a):
+        if not matched:
+            continue
+        while not matches_b[j]:
+            j += 1
+        if first[i] != second[j]:
+            transpositions += 1
+        j += 1
+    transpositions //= 2
+    return (
+        matches / len(first)
+        + matches / len(second)
+        + (matches - transpositions) / matches
+    ) / 3.0
+
+
+def jaro_winkler_similarity(first: str, second: str, prefix_scale: float = 0.1) -> float:
+    """Jaro--Winkler similarity: Jaro boosted by a shared prefix of up to 4 characters."""
+    jaro = jaro_similarity(first, second)
+    shared_prefix = 0
+    for char_a, char_b in zip(first[:4], second[:4]):
+        if char_a != char_b:
+            break
+        shared_prefix += 1
+    return jaro + shared_prefix * prefix_scale * (1.0 - jaro)
+
+
+# ----------------------------------------------------------------------
+# hybrid measures
+# ----------------------------------------------------------------------
+def monge_elkan_similarity(
+    first_tokens: Sequence[str],
+    second_tokens: Sequence[str],
+    inner: Callable[[str, str], float] = jaro_winkler_similarity,
+) -> float:
+    """Monge--Elkan: average best inner similarity of each token of ``first`` in ``second``.
+
+    The measure is asymmetric by definition; callers that need symmetry can
+    average both directions (see :func:`symmetric_monge_elkan`).
+    """
+    if not first_tokens and not second_tokens:
+        return 1.0
+    if not first_tokens or not second_tokens:
+        return 0.0
+    total = 0.0
+    for token_a in first_tokens:
+        total += max(inner(token_a, token_b) for token_b in second_tokens)
+    return total / len(first_tokens)
+
+
+def symmetric_monge_elkan(
+    first_tokens: Sequence[str],
+    second_tokens: Sequence[str],
+    inner: Callable[[str, str], float] = jaro_winkler_similarity,
+) -> float:
+    """Symmetrised Monge--Elkan (average of both directions)."""
+    return 0.5 * (
+        monge_elkan_similarity(first_tokens, second_tokens, inner)
+        + monge_elkan_similarity(second_tokens, first_tokens, inner)
+    )
+
+
+#: Registry of named similarity functions over token collections; the string
+#: functions are wrapped to operate on the joined token text.  Used by
+#: configuration-driven pipelines and the multidimensional blocking scheme.
+SET_SIMILARITIES = {
+    "jaccard": jaccard_similarity,
+    "dice": dice_similarity,
+    "overlap": overlap_coefficient,
+    "cosine": cosine_similarity,
+}
+
+STRING_SIMILARITIES = {
+    "levenshtein": levenshtein_similarity,
+    "jaro": jaro_similarity,
+    "jaro_winkler": jaro_winkler_similarity,
+}
+
+
+def get_similarity(name: str) -> Callable[..., float]:
+    """Look up a similarity function by name (set-based first, then string-based)."""
+    if name in SET_SIMILARITIES:
+        return SET_SIMILARITIES[name]
+    if name in STRING_SIMILARITIES:
+        return STRING_SIMILARITIES[name]
+    raise KeyError(
+        f"unknown similarity {name!r}; available: "
+        f"{sorted(SET_SIMILARITIES) + sorted(STRING_SIMILARITIES)}"
+    )

@@ -1,0 +1,90 @@
+"""Shared fixtures: small deterministic datasets and hand-built collections."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.datamodel.ground_truth import GroundTruth
+from repro.datasets import (
+    DatasetConfig,
+    generate_bibliographic_dataset,
+    generate_clean_clean_task,
+    generate_dirty_dataset,
+)
+from repro.datasets.corruption import CorruptionConfig
+
+
+@pytest.fixture(scope="session")
+def tiny_collection() -> EntityCollection:
+    """A hand-built collection with two obvious duplicate pairs and two singletons."""
+    descriptions = [
+        EntityDescription(
+            "a1",
+            {"name": "Alan Turing", "city": "London", "occupation": "mathematician"},
+        ),
+        EntityDescription(
+            "a2",
+            {"label": "Alan M. Turing", "location": "London", "field": "mathematician"},
+        ),
+        EntityDescription(
+            "b1",
+            {"name": "Grace Hopper", "city": "New York", "occupation": "computer scientist"},
+        ),
+        EntityDescription(
+            "b2",
+            {"full_name": "Grace M. Hopper", "place": "New York", "job": "computer scientist"},
+        ),
+        EntityDescription(
+            "c1",
+            {"name": "Ada Lovelace", "city": "London", "occupation": "mathematician"},
+        ),
+        EntityDescription(
+            "d1",
+            {"name": "Edsger Dijkstra", "city": "Nuenen", "occupation": "computer scientist"},
+        ),
+    ]
+    return EntityCollection(descriptions, name="tiny")
+
+
+@pytest.fixture(scope="session")
+def tiny_ground_truth() -> GroundTruth:
+    return GroundTruth([["a1", "a2"], ["b1", "b2"], ["c1"], ["d1"]])
+
+
+@pytest.fixture(scope="session")
+def small_dirty_dataset():
+    """A seeded small dirty dataset (~200 descriptions)."""
+    return generate_dirty_dataset(
+        DatasetConfig(num_entities=100, duplicates_per_entity=1.0, seed=11)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_clean_clean_dataset():
+    """A seeded small clean--clean task."""
+    return generate_clean_clean_task(
+        DatasetConfig(num_entities=100, missing_in_right=0.2, seed=13)
+    )
+
+
+@pytest.fixture(scope="session")
+def small_bibliographic_dataset():
+    """A seeded small two-type (publications + authors) dataset."""
+    return generate_bibliographic_dataset(
+        num_authors=15, num_publications=30, duplicates_per_publication=1.0, seed=17
+    )
+
+
+@pytest.fixture(scope="session")
+def noisy_dirty_dataset():
+    """A dirty dataset with the high-noise 'somehow similar' corruption profile."""
+    return generate_dirty_dataset(
+        DatasetConfig(
+            num_entities=80,
+            duplicates_per_entity=1.5,
+            noise=CorruptionConfig.somehow_similar(),
+            seed=19,
+        )
+    )

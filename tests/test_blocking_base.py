@@ -1,0 +1,92 @@
+"""Tests for blocks and block collections."""
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.datamodel.pairs import Comparison
+
+
+class TestBlock:
+    def test_unilateral_block_comparisons(self):
+        block = Block("token", members=["a", "b", "c"])
+        assert len(block) == 3
+        assert block.num_comparisons() == 3
+        assert {c.pair for c in block.comparisons()} == {("a", "b"), ("a", "c"), ("b", "c")}
+        assert set(block.pairs()) == {("a", "b"), ("a", "c"), ("b", "c")}
+
+    def test_bilateral_block_comparisons_are_cross_collection_only(self):
+        block = Block("token", left_members=["a", "b"], right_members=["x"])
+        assert block.is_bilateral
+        assert block.num_comparisons() == 2
+        assert set(block.pairs()) == {("a", "x"), ("b", "x")}
+
+    def test_members_are_deduplicated(self):
+        block = Block("token", members=["a", "a", "b"])
+        assert block.members == ("a", "b")
+
+    def test_cannot_mix_member_kinds(self):
+        with pytest.raises(ValueError):
+            Block("token", members=["a"], left_members=["b"])
+
+    def test_restricted_to_drops_degenerate_blocks(self):
+        block = Block("token", members=["a", "b", "c"])
+        assert block.restricted_to({"a", "b"}).members == ("a", "b")
+        assert block.restricted_to({"a"}) is None
+        bilateral = Block("t", left_members=["a"], right_members=["x", "y"])
+        assert bilateral.restricted_to({"a", "x"}).num_comparisons() == 1
+        assert bilateral.restricted_to({"x", "y"}) is None
+
+    def test_contains(self):
+        block = Block("token", members=["a", "b"])
+        assert "a" in block and "z" not in block
+
+
+class TestBlockCollection:
+    def make(self):
+        return BlockCollection(
+            [
+                Block("t1", members=["a", "b", "c"]),
+                Block("t2", members=["a", "b"]),
+                Block("t3", members=["c", "d"]),
+            ]
+        )
+
+    def test_degenerate_blocks_are_dropped_on_add(self):
+        collection = BlockCollection()
+        collection.add(Block("single", members=["a"]))
+        collection.add(Block("empty", left_members=["a"], right_members=[]))
+        assert len(collection) == 0
+
+    def test_total_vs_distinct_comparisons_and_redundancy(self):
+        collection = self.make()
+        assert collection.total_comparisons() == 3 + 1 + 1
+        # (a,b) appears twice -> 4 distinct pairs
+        assert collection.num_distinct_comparisons() == 4
+        assert collection.redundancy() == pytest.approx(5 / 4)
+
+    def test_entity_index_lists_block_positions(self):
+        index = self.make().entity_index()
+        assert index["a"] == [0, 1]
+        assert index["d"] == [2]
+
+    def test_distinct_comparisons_yields_each_pair_once(self):
+        collection = self.make()
+        pairs = [c.pair for c in collection.distinct_comparisons()]
+        assert len(pairs) == len(set(pairs)) == 4
+
+    def test_placed_identifiers_and_block_sizes(self):
+        collection = self.make()
+        assert collection.placed_identifiers() == {"a", "b", "c", "d"}
+        assert sorted(collection.block_sizes()) == [2, 2, 3]
+
+    def test_sorted_by_cardinality(self):
+        ordered = self.make().sorted_by_cardinality()
+        assert [b.num_comparisons() for b in ordered] == [1, 1, 3]
+        descending = self.make().sorted_by_cardinality(ascending=False)
+        assert [b.num_comparisons() for b in descending] == [3, 1, 1]
+
+    def test_empty_collection_statistics(self):
+        empty = BlockCollection()
+        assert empty.total_comparisons() == 0
+        assert empty.redundancy() == 0.0
+        assert empty.num_distinct_comparisons() == 0

@@ -1,0 +1,55 @@
+"""Tests for the built-in miniature benchmark datasets."""
+
+import pytest
+
+from repro.blocking import TokenBlocking
+from repro.core import default_workflow
+from repro.datasets import load_census, load_restaurants
+from repro.evaluation import evaluate_blocks
+
+
+def test_restaurants_structure():
+    dataset = load_restaurants()
+    assert len(dataset.collection) == 18
+    assert dataset.ground_truth.num_matches() == 8
+    # heterogeneous attribute names across the two "guides"
+    names = dataset.collection.attribute_names()
+    assert "address" in names and "street" in names
+    assert "phone" in names and "tel" in names
+
+
+def test_census_structure():
+    dataset = load_census()
+    assert len(dataset.collection) == 13
+    assert len(dataset.ground_truth.clusters) == 7
+    # the near-miss pair is NOT a match
+    assert not dataset.ground_truth.are_matches("cens:6", "cens:8")
+    assert dataset.ground_truth.are_matches("cens:1", "cens:3")
+
+
+def test_datasets_are_deterministic():
+    assert load_restaurants().collection.identifiers == load_restaurants().collection.identifiers
+    assert load_census().ground_truth.matching_pairs() == load_census().ground_truth.matching_pairs()
+
+
+@pytest.mark.parametrize("loader", [load_restaurants, load_census])
+def test_token_blocking_covers_all_builtin_matches(loader):
+    dataset = loader()
+    blocks = TokenBlocking().build(dataset.collection)
+    quality = evaluate_blocks(blocks, dataset.ground_truth, dataset.collection)
+    assert quality.pair_completeness == 1.0
+
+
+def test_default_workflow_resolves_restaurants_well():
+    dataset = load_restaurants()
+    result = default_workflow(match_threshold=0.3).run(dataset.collection, dataset.ground_truth)
+    assert result.matching_quality.recall >= 0.75
+    assert result.matching_quality.precision >= 0.85
+
+
+def test_default_workflow_keeps_census_near_misses_apart():
+    dataset = load_census()
+    result = default_workflow(match_threshold=0.35).run(dataset.collection, dataset.ground_truth)
+    matched = result.matched_pairs()
+    assert ("cens:6", "cens:8") not in matched
+    assert result.matching_quality.precision >= 0.8

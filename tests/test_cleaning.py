@@ -1,0 +1,113 @@
+"""Tests for block purging, block filtering and comparison propagation."""
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.blocking.cleaning import (
+    BlockFiltering,
+    BlockPurging,
+    ComparisonPropagation,
+    clean_blocks,
+)
+from repro.blocking.token_blocking import TokenBlocking
+from repro.evaluation.metrics import evaluate_blocks
+
+
+def make_skewed_blocks():
+    """A few small match-bearing blocks and one huge block."""
+    big_block_members = [f"filler{i}" for i in range(40)]
+    return BlockCollection(
+        [
+            Block("small1", members=["a1", "a2"]),
+            Block("small2", members=["b1", "b2"]),
+            Block("small3", members=["a1", "a2", "b1"]),
+            Block("huge", members=big_block_members),
+        ]
+    )
+
+
+class TestBlockPurging:
+    def test_fixed_threshold_removes_oversized_blocks(self):
+        purged = BlockPurging(max_comparisons=10).process(make_skewed_blocks())
+        assert all(block.num_comparisons() <= 10 for block in purged)
+        assert len(purged) == 3
+
+    def test_adaptive_threshold_drops_dominating_block(self):
+        purged = BlockPurging().process(make_skewed_blocks())
+        assert all(block.key != "huge" for block in purged)
+        # the small, match-bearing blocks survive
+        assert {block.key for block in purged} >= {"small1", "small2", "small3"}
+
+    def test_empty_collection(self):
+        assert len(BlockPurging().process(BlockCollection())) == 0
+
+    def test_purging_reduces_comparisons_but_keeps_recall_on_real_data(self, small_dirty_dataset):
+        blocks = TokenBlocking().build(small_dirty_dataset.collection)
+        purged = BlockPurging().process(blocks)
+        assert purged.total_comparisons() <= blocks.total_comparisons()
+        before = evaluate_blocks(blocks, small_dirty_dataset.ground_truth, small_dirty_dataset.collection)
+        after = evaluate_blocks(purged, small_dirty_dataset.ground_truth, small_dirty_dataset.collection)
+        assert after.pair_completeness >= before.pair_completeness - 0.1
+
+
+class TestBlockFiltering:
+    def test_ratio_validation(self):
+        with pytest.raises(ValueError):
+            BlockFiltering(ratio=0.0)
+        with pytest.raises(ValueError):
+            BlockFiltering(ratio=1.5)
+
+    def test_each_description_keeps_its_smallest_blocks(self):
+        blocks = make_skewed_blocks()
+        filtered = BlockFiltering(ratio=0.5).process(blocks)
+        # 'a1' appears in small1 (1 comparison), small3 (3), huge (780): it keeps ceil(0.5*3)=2
+        index = filtered.entity_index()
+        assert len(index.get("a1", [])) <= 2
+        assert filtered.total_comparisons() < blocks.total_comparisons()
+
+    def test_ratio_one_keeps_everything(self):
+        blocks = make_skewed_blocks()
+        filtered = BlockFiltering(ratio=1.0).process(blocks)
+        assert filtered.total_comparisons() == blocks.total_comparisons()
+
+    def test_empty_collection(self):
+        assert len(BlockFiltering().process(BlockCollection())) == 0
+
+    def test_bilateral_blocks_survive_filtering(self):
+        blocks = BlockCollection(
+            [
+                Block("t1", left_members=["l1"], right_members=["r1", "r2"]),
+                Block("t2", left_members=["l1", "l2"], right_members=["r1"]),
+            ]
+        )
+        filtered = BlockFiltering(ratio=1.0).process(blocks)
+        assert all(block.is_bilateral for block in filtered)
+
+
+class TestComparisonPropagation:
+    def test_eliminates_all_redundancy_without_losing_pairs(self):
+        blocks = make_skewed_blocks()
+        propagated = ComparisonPropagation().process(blocks)
+        assert propagated.num_distinct_comparisons() == blocks.num_distinct_comparisons()
+        assert propagated.total_comparisons() == blocks.num_distinct_comparisons()
+        assert propagated.redundancy() == pytest.approx(1.0)
+
+    def test_bilateral_blocks_stay_bilateral(self):
+        blocks = BlockCollection(
+            [
+                Block("t", left_members=["l1", "l2"], right_members=["r1"]),
+                Block("u", left_members=["l1"], right_members=["r1"]),
+            ]
+        )
+        propagated = ComparisonPropagation().process(blocks)
+        assert all(block.is_bilateral for block in propagated)
+        assert propagated.num_distinct_comparisons() == 2
+
+
+def test_clean_blocks_pipeline_combines_steps(small_dirty_dataset):
+    blocks = TokenBlocking().build(small_dirty_dataset.collection)
+    cleaned = clean_blocks(
+        blocks, purging=BlockPurging(), filtering=BlockFiltering(0.6), propagate=True
+    )
+    assert cleaned.total_comparisons() <= blocks.total_comparisons()
+    assert cleaned.redundancy() == pytest.approx(1.0)

@@ -1,0 +1,101 @@
+"""Tests for the command-line interface."""
+
+import json
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.datasets import load_collection_csv, load_collection_json
+
+
+def test_parser_requires_a_command():
+    with pytest.raises(SystemExit):
+        build_parser().parse_args([])
+
+
+def test_generate_writes_csv_and_ground_truth(tmp_path):
+    output = tmp_path / "dirty.csv"
+    truth_path = tmp_path / "truth.json"
+    exit_code = main(
+        [
+            "generate",
+            "--entities",
+            "30",
+            "--duplicates",
+            "1.0",
+            "--seed",
+            "3",
+            "--output",
+            str(output),
+            "--ground-truth",
+            str(truth_path),
+        ]
+    )
+    assert exit_code == 0
+    collection = load_collection_csv(output)
+    assert len(collection) >= 30
+    truth = json.loads(truth_path.read_text())
+    assert truth["clusters"]
+
+
+def test_generate_json_clean_clean(tmp_path):
+    output = tmp_path / "pair.json"
+    assert main(["generate", "--entities", "20", "--clean-clean", "--output", str(output)]) == 0
+    collection = load_collection_json(output)
+    assert any(identifier.startswith("kbA:") for identifier in collection.identifiers)
+    assert any(identifier.startswith("kbB:") for identifier in collection.identifiers)
+
+
+def test_resolve_roundtrip(tmp_path, capsys):
+    data = tmp_path / "dirty.csv"
+    main(["generate", "--entities", "40", "--seed", "5", "--output", str(data)])
+    clusters_file = tmp_path / "clusters.txt"
+    exit_code = main(
+        [
+            "resolve",
+            str(data),
+            "--threshold",
+            "0.5",
+            "--scheduler",
+            "weight_order",
+            "--output",
+            str(clusters_file),
+        ]
+    )
+    assert exit_code == 0
+    captured = capsys.readouterr().out
+    assert "blocking" in captured and "clusters" in captured
+    lines = clusters_file.read_text().strip().splitlines()
+    assert lines
+    assert all("|" in line for line in lines)
+
+
+def test_link_two_collections(tmp_path, capsys):
+    left = tmp_path / "left.csv"
+    right = tmp_path / "right.csv"
+    # generate a clean-clean JSON then split it into the two sources by prefix
+    combined = tmp_path / "combined.json"
+    main(["generate", "--entities", "30", "--clean-clean", "--seed", "9", "--output", str(combined)])
+    collection = load_collection_json(combined)
+    from repro.datamodel.collection import EntityCollection
+    from repro.datasets import save_collection_csv
+
+    left_collection = EntityCollection(
+        (d for d in collection if d.identifier.startswith("kbA:")), name="left"
+    )
+    right_collection = EntityCollection(
+        (d for d in collection if d.identifier.startswith("kbB:")), name="right"
+    )
+    save_collection_csv(left_collection, left)
+    save_collection_csv(right_collection, right)
+
+    exit_code = main(["link", str(left), str(right), "--threshold", "0.5", "--no-metablocking"])
+    assert exit_code == 0
+    assert "linked clusters" in capsys.readouterr().out
+
+
+def test_unsupported_format_is_rejected(tmp_path):
+    bogus = tmp_path / "data.xml"
+    bogus.write_text("<xml/>")
+    with pytest.raises(SystemExit):
+        main(["resolve", str(bogus)])

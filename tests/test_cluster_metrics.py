@@ -1,0 +1,74 @@
+"""Tests for cluster-level evaluation metrics."""
+
+import pytest
+
+from repro.datamodel.ground_truth import GroundTruth
+from repro.evaluation.clusters import (
+    closest_cluster_score,
+    evaluate_clusters,
+    variation_of_information,
+)
+
+
+@pytest.fixture()
+def truth():
+    return GroundTruth([["a", "b"], ["c", "d", "e"], ["f"]])
+
+
+UNIVERSE = ["a", "b", "c", "d", "e", "f"]
+
+
+def test_perfect_partition(truth):
+    quality = evaluate_clusters([["a", "b"], ["c", "d", "e"], ["f"]], truth, UNIVERSE)
+    assert quality.cluster_precision == 1.0
+    assert quality.cluster_recall == 1.0
+    assert quality.cluster_f1 == 1.0
+    assert quality.closest_cluster_f1 == pytest.approx(1.0)
+    assert quality.variation_of_information == pytest.approx(0.0, abs=1e-12)
+
+
+def test_singletons_are_added_for_uncovered_identifiers(truth):
+    # output only covers a and b: c, d, e, f become singletons
+    quality = evaluate_clusters([["a", "b"]], truth, UNIVERSE)
+    assert quality.num_output_clusters == 5
+    assert 0.0 < quality.cluster_precision <= 1.0
+    assert quality.cluster_recall < 1.0
+
+
+def test_over_merged_partition_scores_worse_than_perfect(truth):
+    perfect = evaluate_clusters([["a", "b"], ["c", "d", "e"], ["f"]], truth, UNIVERSE)
+    over_merged = evaluate_clusters([["a", "b", "c", "d", "e", "f"]], truth, UNIVERSE)
+    assert over_merged.cluster_f1 < perfect.cluster_f1
+    assert over_merged.closest_cluster_f1 < perfect.closest_cluster_f1
+    assert over_merged.variation_of_information > perfect.variation_of_information
+
+
+def test_under_merged_partition_scores_worse_than_perfect(truth):
+    perfect = evaluate_clusters([["a", "b"], ["c", "d", "e"], ["f"]], truth, UNIVERSE)
+    singletons = evaluate_clusters([], truth, UNIVERSE)
+    assert singletons.cluster_recall < perfect.cluster_recall
+    assert singletons.variation_of_information > 0.0
+
+
+def test_identifiers_outside_universe_are_ignored(truth):
+    quality = evaluate_clusters([["a", "b", "zzz"]], truth, UNIVERSE)
+    # the stray identifier does not break exact-match counting
+    assert quality.cluster_precision > 0.0
+
+
+def test_closest_cluster_score_and_vi_edge_cases():
+    assert closest_cluster_score([], [frozenset({"a"})]) == 0.0
+    assert variation_of_information([], [], 0) == 0.0
+    same = [frozenset({"a", "b"})]
+    assert variation_of_information(same, same, 2) == pytest.approx(0.0, abs=1e-12)
+
+
+def test_workflow_clusters_can_be_evaluated(small_dirty_dataset):
+    from repro import default_workflow
+
+    result = default_workflow().run(small_dirty_dataset.collection, small_dirty_dataset.ground_truth)
+    quality = evaluate_clusters(
+        result.clusters, small_dirty_dataset.ground_truth, small_dirty_dataset.collection.identifiers
+    )
+    assert quality.closest_cluster_f1 > 0.8
+    assert quality.variation_of_information < 1.0

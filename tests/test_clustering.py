@@ -1,0 +1,96 @@
+"""Tests for equivalence clustering of pairwise match decisions."""
+
+import pytest
+
+from repro.datamodel.pairs import Comparison
+from repro.matching.clustering import (
+    CenterClustering,
+    ConnectedComponentsClustering,
+    MergeCenterClustering,
+)
+from repro.matching.matchers import MatchDecision
+
+
+def decision(first, second, similarity=1.0, is_match=True):
+    return MatchDecision(Comparison(first, second), similarity=similarity, is_match=is_match)
+
+
+class TestConnectedComponents:
+    def test_transitive_closure(self):
+        clusters = ConnectedComponentsClustering().cluster(
+            [decision("a", "b"), decision("b", "c"), decision("x", "y")]
+        )
+        as_sets = {frozenset(c) for c in clusters}
+        assert frozenset({"a", "b", "c"}) in as_sets
+        assert frozenset({"x", "y"}) in as_sets
+
+    def test_negative_decisions_are_ignored(self):
+        clusters = ConnectedComponentsClustering().cluster(
+            [decision("a", "b", is_match=False), decision("c", "d")]
+        )
+        assert {frozenset(c) for c in clusters} == {frozenset({"c", "d"})}
+
+    def test_empty_input(self):
+        assert ConnectedComponentsClustering().cluster([]) == []
+
+    def test_clusters_to_pairs(self):
+        pairs = ConnectedComponentsClustering.clusters_to_pairs([frozenset({"a", "b", "c"})])
+        assert pairs == {("a", "b"), ("a", "c"), ("b", "c")}
+
+
+class TestCenterClustering:
+    def test_chains_are_broken_at_centers(self):
+        # a-b (strong), b-c (weaker): center clustering assigns b to a's cluster and
+        # c starts its own cluster because b is not a center
+        clusters = CenterClustering().cluster(
+            [decision("a", "b", similarity=0.9), decision("b", "c", similarity=0.5)]
+        )
+        as_sets = {frozenset(c) for c in clusters}
+        assert frozenset({"a", "b"}) in as_sets
+        assert any("c" in cluster for cluster in as_sets)
+        assert frozenset({"a", "b", "c"}) not in as_sets
+
+    def test_edges_processed_in_weight_order(self):
+        clusters = CenterClustering().cluster(
+            [decision("b", "c", similarity=0.4), decision("a", "b", similarity=0.9)]
+        )
+        assert frozenset({"a", "b"}) in {frozenset(c) for c in clusters}
+
+
+class TestMergeCenterClustering:
+    def test_merges_clusters_joined_by_center_edges(self):
+        decisions = [
+            decision("a", "b", similarity=0.9),   # a center, b member
+            decision("c", "d", similarity=0.8),   # c center, d member
+            decision("a", "c", similarity=0.7),   # two centers -> merge
+        ]
+        clusters = MergeCenterClustering().cluster(decisions)
+        assert {frozenset(c) for c in clusters} == {frozenset({"a", "b", "c", "d"})}
+
+    def test_comparison_with_plain_center(self):
+        decisions = [
+            decision("a", "b", similarity=0.9),
+            decision("c", "d", similarity=0.8),
+            decision("a", "c", similarity=0.7),
+        ]
+        merge_center = {frozenset(c) for c in MergeCenterClustering().cluster(decisions)}
+        plain_center = {frozenset(c) for c in CenterClustering().cluster(decisions)}
+        assert len(merge_center) <= len(plain_center)
+
+
+@pytest.mark.parametrize(
+    "algorithm",
+    [ConnectedComponentsClustering(), CenterClustering(), MergeCenterClustering()],
+)
+def test_all_algorithms_cover_every_matched_identifier(algorithm):
+    decisions = [
+        decision("a", "b", 0.9),
+        decision("c", "d", 0.8),
+        decision("e", "f", 0.7),
+        decision("a", "z", 0.3),
+    ]
+    clusters = algorithm.cluster(decisions)
+    covered = {identifier for cluster in clusters for identifier in cluster}
+    assert covered == {"a", "b", "c", "d", "e", "f", "z"}
+    # clusters are disjoint
+    assert sum(len(c) for c in clusters) == len(covered)

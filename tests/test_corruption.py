@@ -1,0 +1,91 @@
+"""Tests for the corruption model used by the synthetic generators."""
+
+import pytest
+
+from repro.datamodel.description import EntityDescription
+from repro.datasets.corruption import CorruptionConfig, CorruptionModel
+from repro.datasets.vocabularies import ATTRIBUTE_SYNONYMS
+
+
+def make_clean() -> EntityDescription:
+    return EntityDescription(
+        "universe:person/0",
+        {
+            "name": "Alan Mathison Turing",
+            "city": "London",
+            "affiliation": "University of Cambridge",
+            "birth_year": "1912",
+        },
+        source="universe",
+    )
+
+
+def test_config_scaling_caps_probabilities():
+    config = CorruptionConfig(typo_probability=0.5).scaled(10)
+    assert config.typo_probability == 0.95
+    low = CorruptionConfig.highly_similar()
+    high = CorruptionConfig.somehow_similar()
+    assert low.typo_probability < high.typo_probability
+
+
+def test_corrupt_token_changes_or_preserves_length_reasonably():
+    model = CorruptionModel(seed=1)
+    token = "turing"
+    corrupted = {model.corrupt_token(token) for _ in range(30)}
+    # at least one corruption differs from the original and lengths stay close
+    assert any(c != token for c in corrupted)
+    assert all(abs(len(c) - len(token)) <= 1 for c in corrupted)
+    assert model.corrupt_token("") == ""
+
+
+def test_corrupt_value_keeps_at_least_one_token():
+    model = CorruptionModel(CorruptionConfig().scaled(2.0), seed=2)
+    for _ in range(20):
+        assert model.corrupt_value("Alan Mathison Turing").strip() != ""
+
+
+def test_corrupt_value_is_deterministic_given_seed():
+    first = CorruptionModel(seed=5)
+    second = CorruptionModel(seed=5)
+    values = ["Alan Turing", "University of Crete", "1912"]
+    assert [first.corrupt_value(v) for v in values] == [second.corrupt_value(v) for v in values]
+
+
+def test_rename_attribute_uses_known_synonyms():
+    model = CorruptionModel(seed=3)
+    for _ in range(10):
+        renamed = model.rename_attribute("name")
+        assert renamed in ATTRIBUTE_SYNONYMS["name"]
+    assert model.rename_attribute("unknown_attribute") == "unknown_attribute"
+
+
+def test_corrupt_description_never_empty_and_new_identifier():
+    model = CorruptionModel(CorruptionConfig(attribute_drop_probability=0.9), seed=4)
+    clean = make_clean()
+    duplicate = model.corrupt_description(clean, "kb:person/0-1", source="kb")
+    assert duplicate.identifier == "kb:person/0-1"
+    assert duplicate.source == "kb"
+    assert len(duplicate.attribute_names) >= 1
+
+
+def test_corrupt_description_respects_attribute_style():
+    model = CorruptionModel(CorruptionConfig(attribute_rename_probability=0.0), seed=6)
+    style = {"name": "foaf:name", "city": "dbo:city"}
+    duplicate = model.corrupt_description(make_clean(), "dup", attribute_style=style)
+    names = set(duplicate.attribute_names)
+    assert "name" not in names
+    assert "foaf:name" in names or "city" not in names  # dropped attributes are allowed
+
+
+def test_corrupt_description_preserves_relationships():
+    clean = EntityDescription("p", {"title": "Paper"}, relationships={"author": ["a1"]})
+    model = CorruptionModel(seed=7)
+    duplicate = model.corrupt_description(clean, "p-dup")
+    assert duplicate.related("author") == ("a1",)
+
+
+def test_make_style_covers_all_attributes():
+    model = CorruptionModel(seed=8)
+    style = model.make_style(["name", "city", "unknown"])
+    assert set(style) == {"name", "city", "unknown"}
+    assert style["unknown"] == "unknown"

@@ -1,0 +1,157 @@
+"""Tests for evaluation metrics, progressive recall curves and reports."""
+
+import pytest
+
+from repro.blocking.base import Block, BlockCollection
+from repro.datamodel.collection import EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.datamodel.ground_truth import GroundTruth
+from repro.evaluation.curves import ProgressiveRecallCurve, area_under_curve
+from repro.evaluation.metrics import (
+    evaluate_blocks,
+    evaluate_comparisons,
+    evaluate_matches,
+    f_measure,
+)
+from repro.evaluation.report import StageReport, WorkflowReport, render_table
+
+
+@pytest.fixture()
+def truth():
+    return GroundTruth([["a", "b"], ["c", "d"], ["e", "f"]])
+
+
+def test_f_measure():
+    assert f_measure(0.0, 0.0) == 0.0
+    assert f_measure(1.0, 1.0) == 1.0
+    assert f_measure(0.5, 1.0) == pytest.approx(2 / 3)
+
+
+class TestBlockingQuality:
+    def test_perfect_candidates(self, truth):
+        quality = evaluate_comparisons([("a", "b"), ("c", "d"), ("e", "f")], truth, 100)
+        assert quality.pair_completeness == 1.0
+        assert quality.pairs_quality == 1.0
+        assert quality.reduction_ratio == pytest.approx(0.97)
+        assert quality.f_measure == 1.0
+
+    def test_partial_candidates(self, truth):
+        quality = evaluate_comparisons([("a", "b"), ("a", "c"), ("x", "y")], truth, 10)
+        assert quality.pair_completeness == pytest.approx(1 / 3)
+        assert quality.pairs_quality == pytest.approx(1 / 3)
+        assert quality.num_comparisons == 3
+
+    def test_accepts_comparison_objects_and_reversed_pairs(self, truth):
+        from repro.datamodel.pairs import Comparison
+
+        quality = evaluate_comparisons([Comparison("b", "a")], truth, 10)
+        assert quality.num_detected_matches == 1
+
+    def test_empty_candidates(self, truth):
+        quality = evaluate_comparisons([], truth, 10)
+        assert quality.pair_completeness == 0.0
+        assert quality.pairs_quality == 0.0
+
+    def test_evaluate_blocks_uses_distinct_pairs(self, truth):
+        blocks = BlockCollection(
+            [Block("t1", members=["a", "b"]), Block("t2", members=["a", "b", "x"])]
+        )
+        collection = EntityCollection(
+            [EntityDescription(i, {"name": i}) for i in ["a", "b", "x"]]
+        )
+        quality = evaluate_blocks(blocks, truth, collection)
+        assert quality.num_comparisons == 3
+        assert quality.num_detected_matches == 1
+
+    def test_as_dict_and_str(self, truth):
+        quality = evaluate_comparisons([("a", "b")], truth, 10)
+        as_dict = quality.as_dict()
+        assert set(as_dict) >= {"PC", "PQ", "RR", "F"}
+        assert "PC=" in str(quality)
+
+
+class TestMatchingQuality:
+    def test_transitive_closure_of_declared_matches(self, truth):
+        # declaring (a,b) and (b,c) implies (a,c) which is wrong here -> hurts precision
+        quality = evaluate_matches([("a", "b"), ("b", "c")], truth)
+        assert quality.num_declared == 3
+        assert quality.num_correct == 1
+        assert quality.precision == pytest.approx(1 / 3)
+        assert quality.recall == pytest.approx(1 / 3)
+
+    def test_merged_identifiers_expand(self, truth):
+        quality = evaluate_matches([("a+b", "c")], truth)
+        # expands to (a,c), (b,c) and (a,b): only (a,b) is correct
+        assert quality.num_correct == 1
+        assert quality.num_declared == 3
+
+    def test_perfect_output(self, truth):
+        quality = evaluate_matches([("a", "b"), ("c", "d"), ("e", "f")], truth)
+        assert quality.precision == 1.0 and quality.recall == 1.0 and quality.f1 == 1.0
+
+    def test_empty_declarations(self, truth):
+        quality = evaluate_matches([], truth)
+        assert quality.precision == 0.0 and quality.recall == 0.0
+
+
+class TestProgressiveRecallCurve:
+    def test_area_under_curve_known_values(self):
+        assert area_under_curve([]) == 0.0
+        assert area_under_curve([(0.0, 0.0), (1.0, 1.0)]) == pytest.approx(0.5)
+        assert area_under_curve([(0.0, 1.0), (1.0, 1.0)]) == pytest.approx(1.0)
+        # curve extended horizontally to x=1
+        assert area_under_curve([(0.0, 0.0), (0.5, 1.0)]) == pytest.approx(0.75)
+
+    def test_recording_and_recall_at(self, truth):
+        curve = ProgressiveRecallCurve(truth, budget=6)
+        for is_match in (True, False, True, False, False, True):
+            curve.record(is_match=is_match)
+        assert curve.num_comparisons == 6
+        assert curve.final_recall() == 1.0
+        assert curve.recall_at(1) == pytest.approx(1 / 3)
+        assert curve.recall_at(3) == pytest.approx(2 / 3)
+        assert curve.comparisons_for_recall(0.66) == 3
+        assert curve.comparisons_for_recall(1.01) is None
+
+    def test_front_loaded_curve_has_higher_auc(self, truth):
+        early = ProgressiveRecallCurve(truth, budget=6)
+        late = ProgressiveRecallCurve(truth, budget=6)
+        for i in range(6):
+            early.record(is_match=i < 3)
+            late.record(is_match=i >= 3)
+        assert early.auc() > late.auc()
+
+    def test_batch_recording_and_sampling(self, truth):
+        curve = ProgressiveRecallCurve(truth)
+        curve.record_batch(10, 2)
+        curve.record_batch(10, 1)
+        assert curve.num_comparisons == 20
+        assert curve.final_recall() == 1.0
+        sampled = curve.sampled(num_points=5)
+        assert sampled[0] == (0, 0.0)
+        assert sampled[-1][1] == 1.0
+        with pytest.raises(ValueError):
+            curve.record_batch(-1, 0)
+
+
+class TestReports:
+    def test_stage_report_and_rendering(self):
+        report = WorkflowReport("demo")
+        report.add_stage("blocking", blocks=10, comparisons=100)
+        stage = report.add_stage(StageReport("matching", {"comparisons": 50}))
+        stage.add("matches", 7)
+        assert report.stage("blocking").get("blocks") == 10
+        assert report.stage("missing") is None
+        rendered = report.render()
+        assert "blocking" in rendered and "matches" in rendered
+        assert len(report.to_rows()) == 2
+        assert "[matching]" in str(stage)
+
+    def test_render_table(self):
+        text = render_table(
+            [{"scheme": "token", "PC": 1.0}, {"scheme": "standard", "PC": 0.5, "extra": 3}],
+            title="blocking",
+        )
+        assert "blocking" in text
+        assert "token" in text and "standard" in text
+        assert render_table([], title="empty") == "empty"

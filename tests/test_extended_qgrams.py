@@ -1,0 +1,58 @@
+"""Tests for extended q-gram blocking."""
+
+import pytest
+
+from repro.blocking.standard import ExtendedQGramsBlocking, QGramsBlocking
+from repro.datamodel.collection import EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.evaluation.metrics import evaluate_blocks
+
+
+def make_collection():
+    return EntityCollection(
+        [
+            EntityDescription("x1", {"name": "turing"}),
+            EntityDescription("x2", {"name": "turinng"}),  # insertion typo
+            EntityDescription("y1", {"name": "hopper"}),
+            EntityDescription("y2", {"name": "popper"}),  # different entity, 1 char apart
+        ]
+    )
+
+
+def test_threshold_validation():
+    with pytest.raises(ValueError):
+        ExtendedQGramsBlocking(threshold=0.0)
+    with pytest.raises(ValueError):
+        ExtendedQGramsBlocking(threshold=1.2)
+
+
+def test_extended_keys_require_large_qgram_overlap():
+    collection = make_collection()
+    plain = QGramsBlocking(q=3, attributes=["name"]).build(collection)
+    extended = ExtendedQGramsBlocking(q=3, threshold=0.75, attributes=["name"]).build(collection)
+    # plain q-grams put the near-identical names together but also hopper/popper
+    assert ("x1", "x2") in plain.distinct_pairs()
+    assert ("y1", "y2") in plain.distinct_pairs()
+    # the extended variant keeps the true near-duplicate but drops the low-overlap pair
+    assert ("x1", "x2") in extended.distinct_pairs()
+    assert ("y1", "y2") not in extended.distinct_pairs()
+    assert extended.num_distinct_comparisons() <= plain.num_distinct_comparisons()
+
+
+def test_extended_qgrams_reduce_comparisons_on_generated_data(small_dirty_dataset):
+    collection = small_dirty_dataset.collection.sample(80, seed=2)
+    truth = small_dirty_dataset.ground_truth.restricted_to(collection.identifiers)
+    plain = QGramsBlocking(q=3).build(collection)
+    extended = ExtendedQGramsBlocking(q=3, threshold=0.9).build(collection)
+    plain_quality = evaluate_blocks(plain, truth, collection)
+    extended_quality = evaluate_blocks(extended, truth, collection)
+    assert extended_quality.num_comparisons < plain_quality.num_comparisons
+    assert extended_quality.reduction_ratio > plain_quality.reduction_ratio
+
+
+def test_threshold_one_degenerates_to_full_key():
+    collection = make_collection()
+    blocks = ExtendedQGramsBlocking(q=3, threshold=1.0, attributes=["name"]).build(collection)
+    # with threshold 1.0 the key is the concatenation of all q-grams: only exact
+    # (normalised) duplicates co-occur, so no block forms here
+    assert blocks.num_distinct_comparisons() == 0

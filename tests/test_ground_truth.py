@@ -1,0 +1,68 @@
+"""Tests for the ground truth container."""
+
+from repro.datamodel.ground_truth import GroundTruth
+
+
+def test_clusters_induce_matching_pairs():
+    truth = GroundTruth([["a", "b", "c"], ["d", "e"]])
+    assert truth.num_matches() == 4  # 3 pairs from the triple, 1 from the pair
+    assert ("a", "b") in truth.matching_pairs()
+    assert ("a", "c") in truth.matching_pairs()
+    assert ("d", "e") in truth.matching_pairs()
+
+
+def test_add_match_is_transitive():
+    truth = GroundTruth()
+    truth.add_match("a", "b")
+    truth.add_match("b", "c")
+    assert truth.are_matches("a", "c")
+    assert truth.num_matches() == 3
+
+
+def test_overlapping_clusters_are_merged():
+    truth = GroundTruth([["a", "b"], ["c", "d"]])
+    truth.add_cluster(["b", "c"])
+    assert truth.are_matches("a", "d")
+    assert len(truth.clusters) == 1
+
+
+def test_non_matches_and_unknown_identifiers():
+    truth = GroundTruth([["a", "b"]])
+    assert not truth.are_matches("a", "c")
+    assert not truth.are_matches("x", "y")
+    assert truth.are_matches("z", "z")  # identity is always a match
+    assert truth.cluster_of("unknown") == frozenset({"unknown"})
+
+
+def test_merged_identifiers_resolve_through_provenance():
+    truth = GroundTruth([["a", "b"], ["c", "d"]])
+    assert truth.are_matches("a+b", "b")
+    assert truth.are_matches("a+c", "d")  # c matches d
+    assert not truth.are_matches("a+b", "c+d", resolve_merged=False)
+    assert not truth.are_matches("a+b", "c")
+
+
+def test_from_pairs_builds_transitive_closure():
+    truth = GroundTruth.from_pairs([("a", "b"), ("b", "c"), ("x", "y")])
+    assert truth.are_matches("a", "c")
+    assert truth.num_matches() == 4
+
+
+def test_restricted_to_subset():
+    truth = GroundTruth([["a", "b", "c"], ["d", "e"]])
+    restricted = truth.restricted_to(["a", "b", "d"])
+    assert restricted.are_matches("a", "b")
+    assert not restricted.are_matches("a", "c")
+    assert restricted.num_matches() == 1
+
+
+def test_singleton_clusters_do_not_create_pairs():
+    truth = GroundTruth([["a"], ["b"]])
+    assert truth.num_matches() == 0
+    assert len(truth.clusters) == 2
+
+
+def test_len_and_repr():
+    truth = GroundTruth([["a", "b"]])
+    assert len(truth) == 1
+    assert "clusters=1" in repr(truth)

@@ -1,0 +1,126 @@
+"""Integration tests: end-to-end scenarios across modules.
+
+These tests exercise realistic combinations of the public API (generator ->
+blocking -> meta-blocking -> scheduling -> matching -> evaluation) rather than
+single modules, and pin down cross-cutting guarantees such as determinism and
+budget-monotonicity.
+"""
+
+import pytest
+
+from repro import DatasetConfig, default_workflow, generate_dirty_dataset
+from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.core import ERWorkflow, WorkflowConfig
+from repro.datasets.corruption import CorruptionConfig
+from repro.evaluation import evaluate_matches
+from repro.matching import OracleMatcher
+from repro.metablocking import MetaBlocking
+from repro.progressive import (
+    ProgressiveSortedNeighborhood,
+    SortedListScheduler,
+    WeightOrderScheduler,
+    run_progressive,
+)
+
+
+@pytest.mark.parametrize("domain", ["person", "product", "publication"])
+def test_default_workflow_across_domains(domain):
+    dataset = generate_dirty_dataset(
+        DatasetConfig(num_entities=80, duplicates_per_entity=1.0, domain=domain, seed=31)
+    )
+    result = default_workflow(match_threshold=0.5).run(dataset.collection, dataset.ground_truth)
+    assert result.blocking_quality.pair_completeness > 0.85
+    assert result.matching_quality.f1 > 0.6
+
+
+def test_workflow_is_deterministic():
+    dataset = generate_dirty_dataset(DatasetConfig(num_entities=60, seed=32))
+    first = default_workflow().run(dataset.collection, dataset.ground_truth)
+    second = default_workflow().run(dataset.collection, dataset.ground_truth)
+    assert sorted(map(sorted, first.clusters)) == sorted(map(sorted, second.clusters))
+    assert first.comparisons_executed == second.comparisons_executed
+
+
+def test_budget_monotonicity_of_progressive_runs():
+    """A larger budget never finds fewer true matches with the same scheduler."""
+    dataset = generate_dirty_dataset(DatasetConfig(num_entities=80, duplicates_per_entity=1.5, seed=33))
+    collection, truth = dataset.collection, dataset.ground_truth
+    blocks = BlockFiltering(0.8).process(BlockPurging().process(TokenBlocking().build(collection)))
+    found = []
+    for budget in (100, 400, 1600):
+        result = run_progressive(
+            SortedListScheduler(restrict_to_candidates=False),
+            OracleMatcher(truth),
+            collection,
+            blocks,
+            budget=budget,
+            ground_truth=truth,
+        )
+        found.append(result.true_matches_found)
+    assert found == sorted(found)
+
+
+def test_metablocking_then_scheduling_is_consistent_with_workflow():
+    """Hand-wiring the stages gives the same candidate set as the packaged workflow."""
+    dataset = generate_dirty_dataset(DatasetConfig(num_entities=60, seed=34))
+    collection = dataset.collection
+
+    config = WorkflowConfig(enable_purging=False, enable_filtering=False, use_tfidf=False)
+    workflow_result = ERWorkflow(config).run(collection, dataset.ground_truth)
+
+    blocks = TokenBlocking().build(collection)
+    weighted = MetaBlocking(config.weighting_scheme, config.pruning_scheme).weighted_comparisons(blocks)
+    assert workflow_result.comparisons_executed == len(weighted)
+
+
+def test_noise_profile_degrades_quality_monotonically():
+    """The 'somehow similar' profile is strictly harder than the 'highly similar' one."""
+    easy = generate_dirty_dataset(
+        DatasetConfig(num_entities=80, noise=CorruptionConfig.highly_similar(), seed=35)
+    )
+    hard = generate_dirty_dataset(
+        DatasetConfig(num_entities=80, noise=CorruptionConfig.somehow_similar(), seed=35)
+    )
+    easy_result = default_workflow(match_threshold=0.5).run(easy.collection, easy.ground_truth)
+    hard_result = default_workflow(match_threshold=0.5).run(hard.collection, hard.ground_truth)
+    assert easy_result.matching_quality.f1 >= hard_result.matching_quality.f1
+
+
+def test_scheduler_choice_does_not_change_final_result_without_budget():
+    """With an unlimited budget the scheduler only affects the order, not the outcome."""
+    dataset = generate_dirty_dataset(DatasetConfig(num_entities=50, seed=36))
+    collection, truth = dataset.collection, dataset.ground_truth
+    blocks = TokenBlocking().build(collection)
+
+    def declared(scheduler):
+        result = run_progressive(
+            scheduler, OracleMatcher(truth), collection, blocks, budget=None, ground_truth=truth
+        )
+        return set(result.declared_matches)
+
+    weight_order = declared(WeightOrderScheduler())
+    sorted_list = declared(SortedListScheduler(restrict_to_candidates=True))
+    psnm = declared(ProgressiveSortedNeighborhood(restrict_to_candidates=True))
+    assert weight_order == sorted_list == psnm
+
+
+def test_oracle_noise_degrades_matching_quality():
+    dataset = generate_dirty_dataset(DatasetConfig(num_entities=60, duplicates_per_entity=1.5, seed=37))
+    collection, truth = dataset.collection, dataset.ground_truth
+    blocks = TokenBlocking().build(collection)
+
+    def quality(matcher):
+        result = run_progressive(
+            WeightOrderScheduler(),
+            matcher,
+            collection,
+            MetaBlocking("CBS", "CNP").weighted_comparisons(blocks),
+            budget=None,
+            ground_truth=truth,
+        )
+        return evaluate_matches(result.declared_matches, truth)
+
+    perfect = quality(OracleMatcher(truth))
+    noisy = quality(OracleMatcher(truth, false_negative_rate=0.3, false_positive_rate=0.05, seed=1))
+    assert perfect.f1 >= noisy.f1
+    assert perfect.precision == 1.0

@@ -1,0 +1,99 @@
+"""Tests for the comparison queue and the queue-driven iterative framework."""
+
+import pytest
+
+from repro.datamodel.collection import EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.datamodel.ground_truth import GroundTruth
+from repro.iterative.queue import ComparisonQueue, IterativeResult, QueueBasedResolver
+from repro.matching.oracle import OracleMatcher
+
+
+class TestComparisonQueue:
+    def test_pop_returns_highest_priority_first(self):
+        queue = ComparisonQueue()
+        queue.push("a", "b", priority=0.5)
+        queue.push("c", "d", priority=0.9)
+        queue.push("e", "f", priority=0.1)
+        assert queue.pop() == ("c", "d")
+        assert queue.pop() == ("a", "b")
+        assert queue.pop() == ("e", "f")
+        assert queue.pop() is None
+
+    def test_push_same_pair_updates_priority(self):
+        queue = ComparisonQueue()
+        queue.push("a", "b", priority=0.1)
+        queue.push("c", "d", priority=0.5)
+        queue.push("b", "a", priority=0.9)  # same canonical pair, higher priority
+        assert len(queue) == 2
+        assert queue.pop() == ("a", "b")
+
+    def test_remove_is_lazy_but_effective(self):
+        queue = ComparisonQueue()
+        queue.push("a", "b", priority=0.9)
+        queue.push("c", "d", priority=0.5)
+        queue.remove("a", "b")
+        assert ("a", "b") not in queue
+        assert queue.pop() == ("c", "d")
+        assert queue.pop() is None
+
+    def test_priority_of_and_contains(self):
+        queue = ComparisonQueue()
+        queue.push("a", "b", priority=0.3)
+        assert queue.priority_of("b", "a") == 0.3
+        assert ("b", "a") in queue
+        assert queue.priority_of("x", "y") is None
+
+
+class SimpleResolver(QueueBasedResolver):
+    """Fills the queue with every candidate pair of a fixed list (for testing)."""
+
+    def __init__(self, matcher, pairs, budget=None):
+        super().__init__(matcher, budget=budget)
+        self.pairs = pairs
+        self.match_events = []
+        self.non_match_events = []
+
+    def initialize(self, data, queue):
+        for first, second in self.pairs:
+            queue.push(first, second, priority=1.0)
+
+    def on_match(self, data, queue, decision, result):
+        self.match_events.append(decision.pair)
+
+    def on_non_match(self, data, queue, decision, result):
+        self.non_match_events.append(decision.pair)
+
+
+@pytest.fixture()
+def collection():
+    return EntityCollection(
+        [EntityDescription(identifier, {"name": identifier}) for identifier in ["a", "b", "c", "d"]]
+    )
+
+
+def test_queue_based_resolver_runs_until_queue_empty(collection):
+    truth = GroundTruth([["a", "b"], ["c", "d"]])
+    resolver = SimpleResolver(OracleMatcher(truth), [("a", "b"), ("a", "c"), ("c", "d")])
+    result = resolver.resolve(collection)
+    assert result.comparisons_executed == 3
+    assert set(result.matches) == {("a", "b"), ("c", "d")}
+    assert resolver.match_events == [("a", "b"), ("c", "d")]
+    assert resolver.non_match_events == [("a", "c")]
+
+
+def test_queue_based_resolver_respects_budget(collection):
+    truth = GroundTruth([["a", "b"], ["c", "d"]])
+    resolver = SimpleResolver(
+        OracleMatcher(truth), [("a", "b"), ("a", "c"), ("c", "d")], budget=1
+    )
+    result = resolver.resolve(collection)
+    assert result.comparisons_executed == 1
+
+
+def test_queue_based_resolver_skips_missing_descriptions(collection):
+    truth = GroundTruth([["a", "b"]])
+    resolver = SimpleResolver(OracleMatcher(truth), [("a", "missing"), ("a", "b")])
+    result = resolver.resolve(collection)
+    assert result.comparisons_executed == 1
+    assert result.matches == [("a", "b")]

@@ -1,0 +1,146 @@
+"""Tests for the MapReduce engine, partitioners and parallel jobs."""
+
+import pytest
+
+from repro.blocking.token_blocking import TokenBlocking
+from repro.mapreduce.balancing import GreedyBalancedPartitioner, HashPartitioner, load_imbalance, stable_hash
+from repro.mapreduce.engine import MapReduceEngine, MapReduceJob
+from repro.mapreduce.jobs import ParallelMetaBlocking, ParallelTokenBlocking
+from repro.metablocking.pipeline import MetaBlocking
+
+
+class WordCountJob(MapReduceJob):
+    name = "wordcount"
+
+    def map(self, record):
+        for word in record.split():
+            yield word, 1
+
+    def reduce(self, key, values):
+        yield key, sum(values)
+
+    def combine(self, key, values):
+        return [sum(values)]
+
+
+class TestPartitioners:
+    def test_stable_hash_is_deterministic(self):
+        assert stable_hash("token") == stable_hash("token")
+        assert stable_hash("a") != stable_hash("b")
+
+    def test_hash_partitioner_assigns_all_keys(self):
+        assignment = HashPartitioner().assign({"a": 1.0, "b": 2.0, "c": 3.0}, 2)
+        assert set(assignment) == {"a", "b", "c"}
+        assert all(0 <= worker < 2 for worker in assignment.values())
+
+    def test_greedy_partitioner_balances_skewed_costs(self):
+        costs = {"huge": 100.0, **{f"k{i}": 1.0 for i in range(20)}}
+        workers = 4
+        greedy = GreedyBalancedPartitioner().assign(costs, workers)
+        loads = [0.0] * workers
+        for key, worker in greedy.items():
+            loads[worker] += costs[key]
+        # the huge group sits alone-ish: imbalance is dominated by it but small keys spread out
+        assert load_imbalance(loads) <= load_imbalance(
+            [sum(costs[k] for k, w in HashPartitioner().assign(costs, workers).items() if w == i) for i in range(workers)]
+        ) + 1e-9
+
+    def test_worker_count_validation(self):
+        with pytest.raises(ValueError):
+            HashPartitioner().assign({"a": 1.0}, 0)
+        with pytest.raises(ValueError):
+            GreedyBalancedPartitioner().assign({"a": 1.0}, 0)
+
+    def test_load_imbalance_edge_cases(self):
+        assert load_imbalance([]) == 1.0
+        assert load_imbalance([0.0, 0.0]) == 1.0
+        assert load_imbalance([2.0, 2.0]) == 1.0
+        assert load_imbalance([4.0, 0.0]) == 2.0
+
+
+class TestEngine:
+    def test_wordcount_results_independent_of_worker_count(self):
+        records = ["a b b", "c a", "b c c"]
+        expected = {("a", 2), ("b", 3), ("c", 3)}
+        for workers in (1, 2, 5):
+            outputs, stats = MapReduceEngine(num_workers=workers).run(WordCountJob(), records)
+            assert set(outputs) == expected
+            assert stats.num_input_records == 3
+            assert stats.num_output_records == 3
+
+    def test_statistics_speedup_and_makespan(self):
+        records = [f"word{i}" for i in range(100)]
+        _, sequential = MapReduceEngine(num_workers=1).run(WordCountJob(), records)
+        _, parallel = MapReduceEngine(num_workers=4).run(WordCountJob(), records)
+        assert sequential.speedup == pytest.approx(1.0)
+        assert parallel.speedup > 1.5
+        assert parallel.makespan < sequential.makespan
+        assert parallel.sequential_cost == pytest.approx(sequential.sequential_cost)
+
+    def test_empty_input(self):
+        outputs, stats = MapReduceEngine(num_workers=3).run(WordCountJob(), [])
+        assert outputs == []
+        assert stats.makespan == 0.0
+        assert stats.speedup == 1.0
+
+    def test_invalid_worker_count(self):
+        with pytest.raises(ValueError):
+            MapReduceEngine(num_workers=0)
+
+    def test_combiner_reduces_intermediate_volume(self):
+        records = ["a a a a", "a a a a"]
+        _, with_combiner = MapReduceEngine(num_workers=2, use_combiner=True).run(WordCountJob(), records)
+        # results identical without combiner
+        outputs, without_combiner = MapReduceEngine(num_workers=2, use_combiner=False).run(
+            WordCountJob(), records
+        )
+        assert set(outputs) == {("a", 8)}
+
+
+class TestParallelTokenBlocking:
+    def test_blocks_match_sequential_token_blocking(self, small_dirty_dataset):
+        collection = small_dirty_dataset.collection
+        sequential = TokenBlocking().build(collection)
+        parallel, stats = ParallelTokenBlocking().build(collection, MapReduceEngine(num_workers=4))
+        assert parallel.distinct_pairs() == sequential.distinct_pairs()
+        assert stats.num_input_records == len(collection)
+
+    def test_clean_clean_blocks_match(self, small_clean_clean_dataset):
+        task = small_clean_clean_dataset.task
+        sequential = TokenBlocking().build(task)
+        parallel, _ = ParallelTokenBlocking().build(task, MapReduceEngine(num_workers=3))
+        assert parallel.distinct_pairs() == sequential.distinct_pairs()
+
+    def test_speedup_grows_with_workers(self, small_dirty_dataset):
+        collection = small_dirty_dataset.collection
+        _, one = ParallelTokenBlocking().build(collection, MapReduceEngine(num_workers=1))
+        _, eight = ParallelTokenBlocking().build(collection, MapReduceEngine(num_workers=8))
+        assert eight.speedup > one.speedup
+
+
+class TestParallelMetaBlocking:
+    @pytest.mark.parametrize("pruning", ["WEP", "CEP", "WNP", "CNP"])
+    def test_runs_all_pruning_modes(self, small_dirty_dataset, pruning):
+        blocks = TokenBlocking().build(small_dirty_dataset.collection)
+        edges, stats = ParallelMetaBlocking("CBS", pruning).run(blocks, MapReduceEngine(num_workers=4))
+        assert edges
+        assert len(stats) >= 2
+        assert len({edge.pair for edge in edges}) == len(edges)
+
+    def test_wep_matches_sequential_metablocking(self, small_dirty_dataset):
+        blocks = TokenBlocking().build(small_dirty_dataset.collection)
+        parallel_edges, _ = ParallelMetaBlocking("CBS", "WEP").run(blocks, MapReduceEngine(num_workers=4))
+        sequential = MetaBlocking("CBS", "WEP").retained_edges(blocks)
+        assert {e.pair for e in parallel_edges} == {e.pair for e in sequential}
+
+    def test_invalid_configuration(self):
+        with pytest.raises(ValueError):
+            ParallelMetaBlocking("CBS", "nope")
+        blocks = TokenBlocking().build
+        with pytest.raises(ValueError):
+            # EJS is not supported by the distributed weighting stage
+            from repro.blocking.base import Block, BlockCollection
+
+            ParallelMetaBlocking("EJS", "WEP").run(
+                BlockCollection([Block("t", members=["a", "b"])]), MapReduceEngine(1)
+            )

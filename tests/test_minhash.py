@@ -1,0 +1,96 @@
+"""Tests for MinHash signatures and LSH blocking."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.blocking.minhash import MinHashLSHBlocking, MinHashSignature
+from repro.datamodel.collection import EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.evaluation.metrics import evaluate_blocks
+from repro.text.similarity import jaccard_similarity
+
+
+class TestMinHashSignature:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinHashSignature(num_hashes=0)
+        with pytest.raises(ValueError):
+            MinHashSignature.estimate_jaccard([], [])
+        with pytest.raises(ValueError):
+            MinHashSignature.estimate_jaccard([1, 2], [1])
+
+    def test_identical_sets_have_identical_signatures(self):
+        minhash = MinHashSignature(num_hashes=32)
+        tokens = {"alan", "turing", "london"}
+        assert minhash.signature(tokens) == minhash.signature(set(tokens))
+        assert MinHashSignature.estimate_jaccard(
+            minhash.signature(tokens), minhash.signature(tokens)
+        ) == 1.0
+
+    def test_empty_set_signature(self):
+        minhash = MinHashSignature(num_hashes=8)
+        assert len(minhash.signature([])) == 8
+
+    def test_signatures_are_deterministic_for_a_seed(self):
+        first = MinHashSignature(num_hashes=16, seed=3)
+        second = MinHashSignature(num_hashes=16, seed=3)
+        different = MinHashSignature(num_hashes=16, seed=4)
+        tokens = {"a", "b", "c"}
+        assert first.signature(tokens) == second.signature(tokens)
+        assert first.signature(tokens) != different.signature(tokens)
+
+    @given(
+        st.sets(st.sampled_from("abcdefghijklmnop"), min_size=3, max_size=12),
+        st.sets(st.sampled_from("abcdefghijklmnop"), min_size=3, max_size=12),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_estimate_tracks_true_jaccard(self, first, second):
+        minhash = MinHashSignature(num_hashes=256, seed=11)
+        estimate = MinHashSignature.estimate_jaccard(
+            minhash.signature(first), minhash.signature(second)
+        )
+        true_value = jaccard_similarity(first, second)
+        assert abs(estimate - true_value) < 0.25  # 256 hashes -> ~0.06 std dev
+
+
+class TestMinHashLSHBlocking:
+    def make_collection(self):
+        return EntityCollection(
+            [
+                EntityDescription("a1", {"name": "alan mathison turing", "city": "london uk"}),
+                EntityDescription("a2", {"label": "alan mathison turing", "place": "london"}),
+                EntityDescription("b1", {"name": "grace brewster murray hopper", "city": "new york"}),
+                EntityDescription("b2", {"full_name": "grace brewster murray hopper", "city": "new york city"}),
+                EntityDescription("c1", {"name": "completely unrelated description entirely"}),
+            ]
+        )
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MinHashLSHBlocking(num_bands=0)
+        with pytest.raises(ValueError):
+            MinHashLSHBlocking(rows_per_band=0)
+
+    def test_approximate_threshold_formula(self):
+        builder = MinHashLSHBlocking(num_bands=16, rows_per_band=4)
+        assert builder.approximate_threshold == pytest.approx((1 / 16) ** 0.25)
+
+    def test_highly_similar_descriptions_co_occur(self):
+        blocks = MinHashLSHBlocking(num_bands=16, rows_per_band=2, seed=2).build(self.make_collection())
+        pairs = blocks.distinct_pairs()
+        assert ("a1", "a2") in pairs
+        assert ("b1", "b2") in pairs
+        assert ("a1", "c1") not in pairs
+
+    def test_quality_on_generated_data(self, small_dirty_dataset):
+        builder = MinHashLSHBlocking(num_bands=24, rows_per_band=2, seed=5)
+        blocks = builder.build(small_dirty_dataset.collection)
+        quality = evaluate_blocks(blocks, small_dirty_dataset.ground_truth, small_dirty_dataset.collection)
+        assert quality.pair_completeness > 0.75
+        assert quality.reduction_ratio > 0.5
+
+    def test_clean_clean_blocks_are_bilateral(self, small_clean_clean_dataset):
+        task = small_clean_clean_dataset.task
+        blocks = MinHashLSHBlocking(num_bands=16, rows_per_band=2).build(task)
+        assert all(block.is_bilateral for block in blocks)

@@ -1,0 +1,62 @@
+"""Tests for comparisons and the comparison counter."""
+
+import pytest
+
+from repro.datamodel.pairs import Comparison, ComparisonCounter, canonical_pair
+
+
+def test_canonical_pair_orders_lexicographically():
+    assert canonical_pair("b", "a") == ("a", "b")
+    assert canonical_pair("a", "b") == ("a", "b")
+
+
+def test_canonical_pair_rejects_self_pairs():
+    with pytest.raises(ValueError):
+        canonical_pair("a", "a")
+
+
+def test_comparison_is_canonicalised_and_hashable():
+    first = Comparison("b", "a")
+    second = Comparison("a", "b")
+    assert first.pair == ("a", "b")
+    assert first == second
+    assert len({first, second}) == 1
+
+
+def test_comparison_weight_and_block_do_not_affect_equality():
+    assert Comparison("a", "b", weight=0.3) == Comparison("a", "b", weight=0.9, block_id="t")
+
+
+def test_comparison_other_and_involves():
+    comparison = Comparison("a", "b")
+    assert comparison.involves("a") and comparison.involves("b")
+    assert not comparison.involves("c")
+    assert comparison.other("a") == "b"
+    with pytest.raises(KeyError):
+        comparison.other("c")
+
+
+def test_with_weight_preserves_pair_and_block():
+    comparison = Comparison("a", "b", block_id="blk")
+    weighted = comparison.with_weight(0.7)
+    assert weighted.pair == ("a", "b")
+    assert weighted.weight == 0.7
+    assert weighted.block_id == "blk"
+
+
+class TestComparisonCounter:
+    def test_counts_per_stage_and_total(self):
+        counter = ComparisonCounter()
+        counter.record("blocking", 10)
+        counter.record("matching")
+        counter.record("matching", 4)
+        assert counter.count("blocking") == 10
+        assert counter.count("matching") == 5
+        assert counter.total == 15
+        assert counter.per_stage() == {"blocking": 10, "matching": 5}
+
+    def test_reset(self):
+        counter = ComparisonCounter()
+        counter.record()
+        counter.reset()
+        assert counter.total == 0

@@ -1,0 +1,116 @@
+"""Tests (including property-based) for the string/set similarity measures."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.text.similarity import (
+    SET_SIMILARITIES,
+    STRING_SIMILARITIES,
+    cosine_similarity,
+    dice_similarity,
+    get_similarity,
+    jaccard_similarity,
+    jaro_similarity,
+    jaro_winkler_similarity,
+    levenshtein_distance,
+    levenshtein_similarity,
+    monge_elkan_similarity,
+    overlap_coefficient,
+    symmetric_monge_elkan,
+)
+
+words = st.text(alphabet="abcdefg", min_size=0, max_size=12)
+token_lists = st.lists(st.text(alphabet="abc", min_size=1, max_size=4), min_size=0, max_size=8)
+
+
+class TestSetSimilarities:
+    def test_jaccard_known_values(self):
+        assert jaccard_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(1 / 3)
+        assert jaccard_similarity(set(), set()) == 1.0
+        assert jaccard_similarity({"a"}, set()) == 0.0
+
+    def test_dice_and_overlap_and_cosine_known_values(self):
+        assert dice_similarity({"a", "b"}, {"b", "c"}) == pytest.approx(0.5)
+        assert overlap_coefficient({"a", "b", "c"}, {"a"}) == 1.0
+        assert cosine_similarity({"a", "b"}, {"a", "b"}) == pytest.approx(1.0)
+
+    @given(token_lists, token_lists)
+    def test_set_measures_are_symmetric_and_bounded(self, first, second):
+        for measure in SET_SIMILARITIES.values():
+            value = measure(first, second)
+            assert 0.0 <= value <= 1.0
+            assert value == pytest.approx(measure(second, first))
+
+    @given(token_lists)
+    def test_identity_gives_one(self, tokens):
+        for measure in SET_SIMILARITIES.values():
+            assert measure(tokens, tokens) == pytest.approx(1.0)
+
+
+class TestLevenshtein:
+    def test_known_distances(self):
+        assert levenshtein_distance("kitten", "sitting") == 3
+        assert levenshtein_distance("", "abc") == 3
+        assert levenshtein_distance("abc", "abc") == 0
+
+    def test_similarity_normalisation(self):
+        assert levenshtein_similarity("abc", "abc") == 1.0
+        assert levenshtein_similarity("", "") == 1.0
+        assert levenshtein_similarity("abc", "xyz") == 0.0
+
+    @given(words, words)
+    def test_distance_is_symmetric_and_triangle_bounded(self, first, second):
+        distance = levenshtein_distance(first, second)
+        assert distance == levenshtein_distance(second, first)
+        assert distance <= max(len(first), len(second))
+        assert (distance == 0) == (first == second)
+
+    @given(words, words, words)
+    @settings(max_examples=50)
+    def test_triangle_inequality(self, a, b, c):
+        assert levenshtein_distance(a, c) <= levenshtein_distance(a, b) + levenshtein_distance(b, c)
+
+
+class TestJaro:
+    def test_identical_and_disjoint(self):
+        assert jaro_similarity("martha", "martha") == 1.0
+        assert jaro_similarity("abc", "xyz") == 0.0
+        assert jaro_similarity("", "abc") == 0.0
+
+    def test_known_value(self):
+        assert jaro_similarity("martha", "marhta") == pytest.approx(0.9444, abs=1e-3)
+
+    def test_jaro_winkler_boosts_common_prefix(self):
+        plain = jaro_similarity("dixon", "dickson")
+        winkler = jaro_winkler_similarity("dixon", "dickson")
+        assert winkler >= plain
+
+    @given(words, words)
+    def test_bounded_and_symmetric(self, first, second):
+        value = jaro_winkler_similarity(first, second)
+        assert 0.0 <= value <= 1.0 + 1e-9
+        assert value == pytest.approx(jaro_winkler_similarity(second, first))
+
+
+class TestMongeElkan:
+    def test_empty_inputs(self):
+        assert monge_elkan_similarity([], []) == 1.0
+        assert monge_elkan_similarity(["a"], []) == 0.0
+
+    def test_identical_token_lists(self):
+        assert monge_elkan_similarity(["alan", "turing"], ["turing", "alan"]) == pytest.approx(1.0)
+
+    def test_symmetric_variant_is_symmetric(self):
+        first, second = ["alan", "turing"], ["alan"]
+        assert symmetric_monge_elkan(first, second) == pytest.approx(
+            symmetric_monge_elkan(second, first)
+        )
+
+
+def test_get_similarity_lookup_and_error():
+    assert get_similarity("jaccard") is jaccard_similarity
+    assert get_similarity("jaro_winkler") is jaro_winkler_similarity
+    with pytest.raises(KeyError):
+        get_similarity("unknown")
+    assert set(STRING_SIMILARITIES) == {"levenshtein", "jaro", "jaro_winkler"}

@@ -1,0 +1,87 @@
+"""Tests for sorted-neighbourhood blocking and the shared sorted order."""
+
+import pytest
+
+from repro.blocking.sorted_neighborhood import (
+    ExtendedSortedNeighborhoodBlocking,
+    SortedNeighborhoodBlocking,
+    sorted_order,
+    sorting_key_from_attributes,
+)
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.description import EntityDescription
+
+
+def make_collection():
+    return EntityCollection(
+        [
+            EntityDescription("e1", {"name": "aaron"}),
+            EntityDescription("e2", {"name": "aaron a"}),
+            EntityDescription("e3", {"name": "bella"}),
+            EntityDescription("e4", {"name": "bella b"}),
+            EntityDescription("e5", {"name": "zoe"}),
+        ]
+    )
+
+
+def test_sorted_order_is_deterministic_and_key_based():
+    order = sorted_order(make_collection(), sorting_key_from_attributes(["name"]))
+    identifiers = [identifier for _, identifier in order]
+    assert identifiers == ["e1", "e2", "e3", "e4", "e5"]
+
+
+def test_window_blocks_cover_adjacent_descriptions():
+    blocks = SortedNeighborhoodBlocking(window_size=2).build(make_collection())
+    pairs = blocks.distinct_pairs()
+    assert ("e1", "e2") in pairs
+    assert ("e3", "e4") in pairs
+    # distant descriptions never co-occur with window 2
+    assert ("e1", "e5") not in pairs
+
+
+def test_larger_window_adds_more_pairs():
+    small = SortedNeighborhoodBlocking(window_size=2).build(make_collection())
+    large = SortedNeighborhoodBlocking(window_size=4).build(make_collection())
+    assert large.num_distinct_comparisons() > small.num_distinct_comparisons()
+
+
+def test_window_size_validation():
+    with pytest.raises(ValueError):
+        SortedNeighborhoodBlocking(window_size=1)
+    with pytest.raises(ValueError):
+        ExtendedSortedNeighborhoodBlocking(window_size=0)
+
+
+def test_clean_clean_windows_only_produce_cross_pairs():
+    left = EntityCollection(
+        [EntityDescription("a:1", {"name": "aaron"}), EntityDescription("a:2", {"name": "zoe"})],
+        name="left",
+    )
+    right = EntityCollection(
+        [EntityDescription("b:1", {"name": "aaron b"}), EntityDescription("b:2", {"name": "zz"})],
+        name="right",
+    )
+    task = CleanCleanTask(left, right)
+    blocks = SortedNeighborhoodBlocking(window_size=2).build(task)
+    for first, second in blocks.distinct_pairs():
+        assert task.is_valid_pair(first, second)
+
+
+def test_extended_variant_groups_by_distinct_keys():
+    collection = EntityCollection(
+        [
+            EntityDescription("e1", {"name": "same"}),
+            EntityDescription("e2", {"name": "same"}),
+            EntityDescription("e3", {"name": "same"}),
+            EntityDescription("e4", {"name": "other"}),
+        ]
+    )
+    blocks = ExtendedSortedNeighborhoodBlocking(window_size=1).build(collection)
+    pairs = blocks.distinct_pairs()
+    # all descriptions sharing the identical key co-occur even with window 1
+    assert ("e1", "e2") in pairs and ("e2", "e3") in pairs
+
+
+def test_tiny_collections_produce_no_blocks():
+    single = EntityCollection([EntityDescription("only", {"name": "x"})])
+    assert len(SortedNeighborhoodBlocking().build(single)) == 0

@@ -1,0 +1,82 @@
+"""Tests for merging-based iterative ER (R-Swoosh and the naive baseline)."""
+
+import pytest
+
+from repro.datamodel.collection import EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.datamodel.ground_truth import GroundTruth
+from repro.evaluation.metrics import evaluate_matches
+from repro.iterative.swoosh import NaivePairwiseER, RSwoosh
+from repro.matching.matchers import ProfileSimilarityMatcher
+from repro.matching.oracle import OracleMatcher
+
+
+def make_collection_with_bridge():
+    """b is similar to both a and c, but a and c only match via the merged evidence."""
+    return EntityCollection(
+        [
+            EntityDescription("a", {"name": "alan turing", "city": "london"}),
+            EntityDescription("b", {"name": "alan m turing", "city": "london", "born": "1912"}),
+            EntityDescription("c", {"label": "a m turing", "born": "1912"}),
+            EntityDescription("x", {"name": "grace hopper", "city": "new york"}),
+        ]
+    )
+
+
+class TestRSwoosh:
+    def test_resolves_simple_duplicates(self, small_dirty_dataset):
+        sample = small_dirty_dataset.collection.sample(60, seed=3)
+        truth = small_dirty_dataset.ground_truth.restricted_to(sample.identifiers)
+        result = RSwoosh(OracleMatcher(truth)).resolve(sample)
+        quality = evaluate_matches(result.matched_pairs(), truth)
+        assert quality.recall == 1.0
+        assert quality.precision == 1.0
+        assert result.merges == sum(len(c) - 1 for c in truth.clusters)
+
+    def test_fewer_comparisons_than_naive(self, small_dirty_dataset):
+        sample = small_dirty_dataset.collection.sample(50, seed=4)
+        truth = small_dirty_dataset.ground_truth.restricted_to(sample.identifiers)
+        swoosh = RSwoosh(OracleMatcher(truth)).resolve(sample)
+        naive = NaivePairwiseER(OracleMatcher(truth)).resolve(sample)
+        assert swoosh.comparisons_executed < naive.comparisons_executed
+        # both reach the same partition
+        assert set(map(frozenset, swoosh.clusters)) == set(map(frozenset, naive.clusters))
+
+    def test_merged_descriptions_enable_new_matches(self):
+        collection = make_collection_with_bridge()
+        matcher = ProfileSimilarityMatcher(threshold=0.5)
+        result = RSwoosh(matcher).resolve(collection)
+        clusters = {frozenset(c) for c in result.clusters}
+        # a, b and c end up together only because the a+b merge matches c
+        assert any({"a", "b", "c"} <= cluster for cluster in clusters)
+        # x stays alone
+        assert frozenset({"x"}) in clusters
+
+    def test_budget_stops_early(self, small_dirty_dataset):
+        sample = small_dirty_dataset.collection.sample(40, seed=5)
+        truth = small_dirty_dataset.ground_truth.restricted_to(sample.identifiers)
+        result = RSwoosh(OracleMatcher(truth), budget=10).resolve(sample)
+        assert result.comparisons_executed <= 10
+        # every input description is still accounted for in the output
+        covered = {identifier for cluster in result.clusters for identifier in cluster}
+        assert covered == set(sample.identifiers)
+
+    def test_empty_collection(self):
+        result = RSwoosh(OracleMatcher(GroundTruth())).resolve(EntityCollection([]))
+        assert result.resolved == []
+        assert result.comparisons_executed == 0
+
+
+class TestNaivePairwise:
+    def test_reaches_fixpoint(self):
+        collection = make_collection_with_bridge()
+        matcher = ProfileSimilarityMatcher(threshold=0.5)
+        result = NaivePairwiseER(matcher).resolve(collection)
+        clusters = {frozenset(c) for c in result.clusters}
+        assert any({"a", "b", "c"} <= cluster for cluster in clusters)
+
+    def test_budget_is_respected(self, small_dirty_dataset):
+        sample = small_dirty_dataset.collection.sample(30, seed=6)
+        truth = small_dirty_dataset.ground_truth.restricted_to(sample.identifiers)
+        result = NaivePairwiseER(OracleMatcher(truth), budget=20).resolve(sample)
+        assert result.comparisons_executed <= 20

@@ -1,0 +1,115 @@
+"""Tests for token blocking, attribute-clustering blocking and URI-aware blocking."""
+
+import pytest
+
+from repro.blocking.token_blocking import (
+    AttributeClusteringBlocking,
+    PrefixInfixSuffixBlocking,
+    TokenBlocking,
+    cluster_attributes,
+)
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.evaluation.metrics import evaluate_blocks
+
+
+def make_heterogeneous_pair():
+    """Two descriptions of the same person using different vocabularies."""
+    return EntityCollection(
+        [
+            EntityDescription("x1", {"name": "Alan Turing", "city": "London"}),
+            EntityDescription("x2", {"foaf:name": "Alan M. Turing", "location": "London"}),
+            EntityDescription("y1", {"name": "Grace Hopper", "city": "New York"}),
+        ]
+    )
+
+
+class TestTokenBlocking:
+    def test_shared_token_places_descriptions_in_same_block(self):
+        blocks = TokenBlocking().build(make_heterogeneous_pair())
+        assert ("x1", "x2") in blocks.distinct_pairs()
+
+    def test_block_keys_are_tokens(self):
+        blocks = TokenBlocking().build(make_heterogeneous_pair())
+        keys = {block.key for block in blocks}
+        assert "turing" in keys and "london" in keys
+
+    def test_min_token_length_and_stop_words(self):
+        collection = EntityCollection(
+            [
+                EntityDescription("a", {"name": "a of x"}),
+                EntityDescription("b", {"name": "a of y"}),
+            ]
+        )
+        blocks = TokenBlocking(min_token_length=2).build(collection)
+        assert len(blocks) == 0  # 'a' too short, 'of' is a stop word, x/y too short
+
+    def test_max_block_fraction_drops_huge_blocks(self):
+        descriptions = [
+            EntityDescription(f"e{i}", {"name": f"common token{i}"}) for i in range(10)
+        ]
+        collection = EntityCollection(descriptions)
+        unlimited = TokenBlocking().build(collection)
+        limited = TokenBlocking(max_block_fraction=0.5).build(collection)
+        assert any(block.key == "common" for block in unlimited)
+        assert all(block.key != "common" for block in limited)
+
+    def test_clean_clean_blocks_are_bilateral(self, small_clean_clean_dataset):
+        task = small_clean_clean_dataset.task
+        blocks = TokenBlocking().build(task)
+        assert all(block.is_bilateral for block in blocks)
+        for first, second in list(blocks.distinct_pairs())[:50]:
+            assert task.is_valid_pair(first, second)
+
+    def test_full_recall_on_generated_dirty_data(self, small_dirty_dataset):
+        blocks = TokenBlocking().build(small_dirty_dataset.collection)
+        quality = evaluate_blocks(blocks, small_dirty_dataset.ground_truth, small_dirty_dataset.collection)
+        assert quality.pair_completeness >= 0.95
+        assert quality.reduction_ratio > 0.0
+
+
+class TestAttributeClustering:
+    def test_cluster_attributes_groups_synonymous_attributes(self):
+        collection = EntityCollection(
+            [
+                EntityDescription("a1", {"name": "Alan Turing", "city": "London"}),
+                EntityDescription("a2", {"label": "Alan Turing", "place": "London"}),
+                EntityDescription("a3", {"name": "Grace Hopper", "city": "New York"}),
+                EntityDescription("a4", {"label": "Grace Hopper", "place": "New York"}),
+            ]
+        )
+        clusters = cluster_attributes(collection, similarity_threshold=0.3)
+        assert clusters["name"] == clusters["label"]
+        assert clusters["city"] == clusters["place"]
+        assert clusters["name"] != clusters["city"]
+
+    def test_attribute_clustering_never_loses_more_recall_than_it_saves_comparisons(
+        self, small_dirty_dataset
+    ):
+        token = TokenBlocking().build(small_dirty_dataset.collection)
+        clustered = AttributeClusteringBlocking().build(small_dirty_dataset.collection)
+        token_quality = evaluate_blocks(token, small_dirty_dataset.ground_truth, small_dirty_dataset.collection)
+        clustered_quality = evaluate_blocks(
+            clustered, small_dirty_dataset.ground_truth, small_dirty_dataset.collection
+        )
+        assert clustered_quality.pair_completeness >= token_quality.pair_completeness - 0.05
+        assert clustered_quality.num_comparisons <= token_quality.num_comparisons * 1.5
+
+    def test_blocks_are_scoped_by_cluster(self):
+        blocks = AttributeClusteringBlocking().build(make_heterogeneous_pair())
+        assert all("#" in block.key for block in blocks)
+
+
+class TestPrefixInfixSuffix:
+    def test_uri_infix_tokens_create_blocks(self):
+        collection = EntityCollection(
+            [
+                EntityDescription("http://kb1.org/resource/Berlin_Wall", {"type": "monument"}),
+                EntityDescription("http://kb2.org/page/Berlin_Wall", {"kind": "landmark"}),
+            ]
+        )
+        plain = TokenBlocking().build(collection)
+        uri_aware = PrefixInfixSuffixBlocking().build(collection)
+        pair = ("http://kb1.org/resource/Berlin_Wall", "http://kb2.org/page/Berlin_Wall")
+        assert pair not in plain.distinct_pairs()
+        assert pair in uri_aware.distinct_pairs()

@@ -1,0 +1,88 @@
+"""Tests for tokenisation and normalisation."""
+
+from repro.text.tokenize import (
+    DEFAULT_STOP_WORDS,
+    normalize,
+    prefix,
+    qgrams,
+    sorted_tokens_by_rarity,
+    suffixes,
+    token_set,
+    tokenize,
+    uri_tokens,
+)
+
+
+def test_normalize_lowercases_strips_accents_and_punctuation():
+    assert normalize("Alán  Türing!") == "alan turing"
+    assert normalize("  ") == ""
+    assert normalize("") == ""
+    assert normalize("C3-PO, droid.") == "c3 po droid"
+
+
+def test_tokenize_basic_and_min_length():
+    assert tokenize("Alan M. Turing") == ["alan", "m", "turing"]
+    assert tokenize("Alan M. Turing", min_length=2) == ["alan", "turing"]
+
+
+def test_tokenize_stop_words():
+    tokens = tokenize("The University of Crete", stop_words=DEFAULT_STOP_WORDS)
+    assert "the" not in tokens and "of" not in tokens
+    assert "university" in tokens and "crete" in tokens
+
+
+def test_tokenize_preserves_duplicates_token_set_does_not():
+    assert tokenize("data data data") == ["data", "data", "data"]
+    assert token_set(["data data", "data"]) == {"data"}
+
+
+def test_token_set_unions_multiple_values():
+    assert token_set(["Alan Turing", "London"]) == {"alan", "turing", "london"}
+
+
+def test_qgrams_with_and_without_padding():
+    padded = qgrams("abc", q=3)
+    assert padded[0].startswith("##")
+    assert padded[-1].endswith("$$")
+    assert "abc" in padded
+    unpadded = qgrams("abcd", q=3, pad=False)
+    assert unpadded == ["abc", "bcd"]
+
+
+def test_qgrams_short_strings_and_invalid_q():
+    assert qgrams("ab", q=3, pad=False) == ["ab"]
+    assert qgrams("", q=3) == []
+    import pytest
+
+    with pytest.raises(ValueError):
+        qgrams("abc", q=0)
+
+
+def test_suffixes_respect_min_length():
+    result = suffixes("turing", min_length=4)
+    assert result == ["turing", "uring", "ring"]
+    assert suffixes("ab", min_length=4) == ["ab"]
+    assert suffixes("", min_length=3) == []
+
+
+def test_prefix_is_space_free():
+    assert prefix("Alan Turing", 6) == "alantu"
+
+
+def test_uri_tokens_extracts_prefix_and_infix():
+    uri_prefix, infix, tokens = uri_tokens("http://dbpedia.org/resource/Berlin_Wall")
+    assert infix == "Berlin_Wall"
+    assert "berlin" in tokens and "wall" in tokens
+    assert "dbpedia" in uri_prefix
+
+    simple_prefix, simple_infix, simple_tokens = uri_tokens("kb:person/42")
+    assert simple_infix == "42"
+    assert simple_tokens == ["42"]
+
+    assert uri_tokens("") == ("", "", [])
+
+
+def test_sorted_tokens_by_rarity_orders_ascending_frequency():
+    document_frequency = {"common": 100, "rare": 1, "mid": 10}
+    ordered = sorted_tokens_by_rarity(["common", "rare", "mid"], document_frequency)
+    assert ordered == ["rare", "mid", "common"]

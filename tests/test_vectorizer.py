@@ -1,0 +1,62 @@
+"""Tests for TF-IDF vectorisation of descriptions."""
+
+import pytest
+
+from repro.datamodel.description import EntityDescription
+from repro.text.vectorizer import TfIdfVectorizer, weighted_cosine
+
+
+def make_corpus():
+    return [
+        EntityDescription("e1", {"name": "Alan Turing", "city": "London"}),
+        EntityDescription("e2", {"name": "Alan M Turing", "city": "London"}),
+        EntityDescription("e3", {"name": "Grace Hopper", "city": "New York"}),
+        EntityDescription("e4", {"name": "Ada Lovelace", "city": "London"}),
+    ]
+
+
+def test_weighted_cosine_basics():
+    assert weighted_cosine({}, {"a": 1.0}) == 0.0
+    assert weighted_cosine({"a": 1.0}, {"a": 1.0}) == pytest.approx(1.0)
+    assert weighted_cosine({"a": 1.0}, {"b": 1.0}) == 0.0
+    assert weighted_cosine({"a": 1.0, "b": 1.0}, {"a": 1.0}) == pytest.approx(1 / 2**0.5)
+
+
+def test_fit_counts_document_frequencies():
+    corpus = make_corpus()
+    vectorizer = TfIdfVectorizer().fit(corpus)
+    assert vectorizer.num_documents == 4
+    assert vectorizer.document_frequency("london") == 3
+    assert vectorizer.document_frequency("hopper") == 1
+    assert vectorizer.document_frequency("missing") == 0
+    assert vectorizer.vocabulary_size > 0
+
+
+def test_idf_is_higher_for_rarer_tokens():
+    vectorizer = TfIdfVectorizer().fit(make_corpus())
+    assert vectorizer.idf("hopper") > vectorizer.idf("london")
+    assert vectorizer.idf("anything") >= 0.0
+
+
+def test_transform_returns_sparse_vector_restricted_to_attributes():
+    vectorizer = TfIdfVectorizer().fit(make_corpus())
+    description = make_corpus()[0]
+    full = vectorizer.transform(description)
+    assert "alan" in full and "london" in full
+    only_city = vectorizer.transform(description, attributes=["city"])
+    assert "london" in only_city and "alan" not in only_city
+    assert vectorizer.transform(EntityDescription("empty")) == {}
+
+
+def test_similarity_favours_shared_rare_tokens():
+    corpus = make_corpus()
+    vectorizer = TfIdfVectorizer().fit(corpus)
+    same_person = vectorizer.similarity(corpus[0], corpus[1])
+    different_person = vectorizer.similarity(corpus[0], corpus[3])
+    assert same_person > different_person
+    assert 0.0 <= different_person <= 1.0
+
+
+def test_unfitted_vectorizer_idf_is_zero():
+    vectorizer = TfIdfVectorizer()
+    assert vectorizer.idf("anything") == 0.0

@@ -1,0 +1,100 @@
+"""Tests for the end-to-end ER workflow (tutorial Figure 1)."""
+
+import pytest
+
+from repro.core.config import WorkflowConfig
+from repro.core.workflow import ERWorkflow, default_workflow
+from repro.datasets import DatasetConfig, generate_clean_clean_task, generate_dirty_dataset
+from repro.matching.oracle import OracleMatcher
+from repro.progressive.schedulers import RandomOrderScheduler
+
+
+class TestWorkflowConfig:
+    def test_describe_mentions_all_enabled_stages(self):
+        config = WorkflowConfig(iterate_merges=True, budget=100)
+        description = config.describe()
+        assert "token" in description
+        assert "metablocking" in description
+        assert "budget=100" in description
+        assert "iterative-merging" in description
+
+    def test_default_workflow_rejects_unknown_overrides(self):
+        with pytest.raises(AttributeError):
+            default_workflow(nonexistent_option=True)
+
+
+class TestWorkflowExecution:
+    def test_default_workflow_resolves_dirty_collection(self, small_dirty_dataset):
+        workflow = default_workflow()
+        result = workflow.run(small_dirty_dataset.collection, small_dirty_dataset.ground_truth)
+        assert result.matching_quality is not None
+        assert result.matching_quality.f1 > 0.7
+        assert result.blocking_quality.pair_completeness > 0.9
+        assert result.comparisons_executed < small_dirty_dataset.collection.total_comparisons()
+        assert len(result.report) >= 4
+        assert "clusters" in result.summary()
+
+    def test_workflow_without_ground_truth_still_runs(self, small_dirty_dataset):
+        result = default_workflow().run(small_dirty_dataset.collection)
+        assert result.matching_quality is None
+        assert result.blocking_quality is None
+        assert result.clusters
+
+    def test_clean_clean_workflow(self, small_clean_clean_dataset):
+        workflow = default_workflow()
+        result = workflow.run(small_clean_clean_dataset.task, small_clean_clean_dataset.ground_truth)
+        assert result.matching_quality.f1 > 0.5
+        # all declared matches must be cross-collection pairs
+        task = small_clean_clean_dataset.task
+        for first, second in result.matches:
+            assert task.is_valid_pair(first, second)
+
+    def test_budget_limits_comparisons(self, small_dirty_dataset):
+        limited = default_workflow(budget=100).run(
+            small_dirty_dataset.collection, small_dirty_dataset.ground_truth
+        )
+        assert limited.comparisons_executed <= 100
+
+    def test_component_overrides_take_precedence(self, small_dirty_dataset):
+        oracle = OracleMatcher(small_dirty_dataset.ground_truth)
+        workflow = ERWorkflow(
+            WorkflowConfig(enable_metablocking=False),
+            matcher=oracle,
+            scheduler=RandomOrderScheduler(seed=1),
+        )
+        result = workflow.run(small_dirty_dataset.collection, small_dirty_dataset.ground_truth)
+        assert result.matching_quality.precision == 1.0  # the oracle never errs
+        assert oracle.calls == result.comparisons_executed
+
+    def test_unknown_component_names_raise(self, small_dirty_dataset):
+        with pytest.raises(KeyError):
+            ERWorkflow(WorkflowConfig(blocking="bogus")).run(small_dirty_dataset.collection)
+        with pytest.raises(KeyError):
+            ERWorkflow(WorkflowConfig(scheduler="bogus")).run(small_dirty_dataset.collection)
+        with pytest.raises(KeyError):
+            ERWorkflow(WorkflowConfig(clustering="bogus")).run(small_dirty_dataset.collection)
+
+    def test_iterative_merging_finds_at_least_as_many_matches(self):
+        dataset = generate_dirty_dataset(
+            DatasetConfig(num_entities=60, duplicates_per_entity=2.0, seed=23)
+        )
+        plain = default_workflow(iterate_merges=False, use_tfidf=False, match_threshold=0.6).run(
+            dataset.collection, dataset.ground_truth
+        )
+        iterative = default_workflow(iterate_merges=True, use_tfidf=False, match_threshold=0.6).run(
+            dataset.collection, dataset.ground_truth
+        )
+        assert iterative.matching_quality.recall >= plain.matching_quality.recall
+        assert iterative.iterations >= 1
+
+    @pytest.mark.parametrize("blocking", ["token", "attribute_clustering", "sorted_neighborhood"])
+    def test_alternative_blocking_schemes(self, small_dirty_dataset, blocking):
+        workflow = default_workflow(blocking=blocking, enable_metablocking=blocking == "token")
+        result = workflow.run(small_dirty_dataset.collection, small_dirty_dataset.ground_truth)
+        assert result.matching_quality is not None
+
+    @pytest.mark.parametrize("scheduler", ["random", "sorted_list", "psnm", "progressive_blocks"])
+    def test_alternative_schedulers(self, small_dirty_dataset, scheduler):
+        workflow = default_workflow(scheduler=scheduler, budget=500)
+        result = workflow.run(small_dirty_dataset.collection, small_dirty_dataset.ground_truth)
+        assert result.comparisons_executed <= 500
