@@ -10,15 +10,35 @@ reciprocal variants trade a little recall for better precision.
 
 from __future__ import annotations
 
+import multiprocessing
+import os
+import sys
+import time
+import tracemalloc
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no resource module
+    resource = None
+
 import pytest
 
 from benchmarks.conftest import save_table
 from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.datasets import DatasetConfig, generate_dirty_dataset
 from repro.evaluation import evaluate_blocks, evaluate_comparisons
 from repro.metablocking import MetaBlocking
 
 WEIGHTING_SCHEMES = ("CBS", "ECBS", "JS", "EJS", "ARCS")
 PRUNING_SCHEMES = ("WEP", "CEP", "WNP", "CNP", "ReciprocalCNP")
+
+#: Input sizes of the engine comparison (number of generated entities).  The
+#: quick mode (``REPRO_BENCH_QUICK=1``, used by the CI smoke job) only runs
+#: the medium 500-entity input and only asserts that the index engine is not
+#: slower; the full run scales to 2000 entities, where the index engine must
+#: be at least 3x faster.
+ENGINE_COMPARISON_SIZES = (500, 1000, 2000)
+ENGINE_QUICK_SIZE = 500
 
 
 @pytest.fixture(scope="module")
@@ -128,3 +148,143 @@ def test_metablocking_weighting_ablation(benchmark, dirty_dataset, cleaned_block
     )
     benchmark.extra_info["rows"] = rows
     assert all(row["PC"] >= 0.6 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# E3b -- engine comparison: legacy object graph vs array-backed entity index
+# ----------------------------------------------------------------------
+
+def _cleaned_blocks_for(num_entities: int):
+    dataset = generate_dirty_dataset(
+        DatasetConfig(
+            num_entities=num_entities,
+            duplicates_per_entity=1.2,
+            domain="person",
+            seed=101,
+        )
+    )
+    blocks = TokenBlocking().build(dataset.collection)
+    return BlockFiltering(0.8).process(BlockPurging().process(blocks))
+
+
+def _peak_rss_bytes():
+    if resource is None:  # e.g. Windows
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux but bytes on macOS
+    return maxrss if sys.platform == "darwin" else maxrss * 1024
+
+
+def _measure_engine(engine: str, blocks):
+    """One timed + one memory-traced run of ``engine`` in the current process.
+
+    Returns ``(seconds, tracemalloc peak bytes, peak RSS bytes | None, edges)``.
+    """
+    metablocking = MetaBlocking("CBS", "WNP", engine=engine)
+    start = time.perf_counter()
+    edges = metablocking.retained_edges(blocks)
+    seconds = time.perf_counter() - start
+    tracemalloc.start()
+    metablocking.retained_edges(blocks)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return seconds, peak, _peak_rss_bytes(), edges
+
+
+def _measure_engine_in_child(engine: str, blocks, conn) -> None:
+    try:
+        conn.send(_measure_engine(engine, blocks))
+    finally:
+        conn.close()
+
+
+def _run_engine(engine: str, blocks):
+    """Measure ``engine`` in a forked child so its peak RSS is its own.
+
+    RSS is a process-wide high-water mark, so measuring both engines in one
+    process would make the second row inherit the first's peak.  Where
+    ``fork`` is unavailable the measurement runs in-process and RSS is
+    reported as ``None`` (the tracemalloc peak stays accurate either way).
+    """
+    if not hasattr(os, "fork"):
+        return _measure_engine(engine, blocks)
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    child = ctx.Process(target=_measure_engine_in_child, args=(engine, blocks, child_conn))
+    child.start()
+    child_conn.close()
+    try:
+        result = parent_conn.recv()
+    except EOFError:  # child died before sending (e.g. MemoryError)
+        result = None
+    finally:
+        parent_conn.close()
+        child.join()
+    if result is None or child.exitcode != 0:
+        raise RuntimeError(f"engine measurement subprocess failed for {engine!r}")
+    return result
+
+
+def test_engine_old_vs_new(benchmark):
+    """Old (graph) vs new (index) engine: wall time, peak allocation, peak RSS.
+
+    Both engines must retain identical comparisons.  The full run requires
+    the index engine to be at least 3x faster on the largest input; the quick
+    mode (``REPRO_BENCH_QUICK=1``) only requires it to be no slower on the
+    medium input.
+    """
+    quick = os.environ.get("REPRO_BENCH_QUICK") == "1"
+    sizes = (ENGINE_QUICK_SIZE,) if quick else ENGINE_COMPARISON_SIZES
+
+    rows = []
+    speedups = {}
+    for num_entities in sizes:
+        blocks = _cleaned_blocks_for(num_entities)
+        results = {}
+        for engine in ("graph", "index"):
+            seconds, peak, rss, edges = _run_engine(engine, blocks)
+            results[engine] = (seconds, peak, edges)
+            rows.append(
+                {
+                    "entities": num_entities,
+                    "engine": engine,
+                    "input comparisons": blocks.total_comparisons(),
+                    "retained": len(edges),
+                    "seconds": round(seconds, 3),
+                    "peak alloc MB": round(peak / 1e6, 1),
+                    "peak RSS MB": round(rss / 1e6, 1) if rss is not None else "n/a",
+                }
+            )
+        graph_pairs = {(e.first, e.second): e.weight for e in results["graph"][2]}
+        index_pairs = {(e.first, e.second): e.weight for e in results["index"][2]}
+        assert graph_pairs.keys() == index_pairs.keys()
+        assert all(
+            abs(graph_pairs[pair] - index_pairs[pair]) <= 1e-9 for pair in graph_pairs
+        )
+        speedups[num_entities] = results["graph"][0] / max(1e-9, results["index"][0])
+
+    largest = sizes[-1]
+    save_table(
+        "E3b_engine_comparison",
+        rows,
+        "meta-blocking engines on cleaned token blocks (CBS+WNP)",
+        notes=(
+            "Identical retained comparisons; the index engine streams over CSR arrays "
+            f"instead of materialising the edge objects. Speedups: "
+            + ", ".join(f"{n} entities: {s:.2f}x" for n, s in speedups.items())
+        ),
+    )
+    benchmark.extra_info["speedups"] = {str(n): round(s, 2) for n, s in speedups.items()}
+    # blocks built outside the timed call: the recorded metric measures the
+    # engine alone, not dataset generation + blocking
+    timed_blocks = _cleaned_blocks_for(sizes[0])
+    benchmark.pedantic(
+        lambda: MetaBlocking("CBS", "WNP", engine="index").retained_edges(timed_blocks),
+        rounds=1,
+        iterations=1,
+    )
+
+    # the index engine must never be slower; at scale it must win clearly
+    assert all(speedup >= 1.0 for speedup in speedups.values()), speedups
+    if not quick:
+        assert speedups[largest] >= 3.0, speedups

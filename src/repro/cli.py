@@ -54,6 +54,7 @@ def _workflow_from_args(args: argparse.Namespace) -> ERWorkflow:
         enable_metablocking=not args.no_metablocking,
         weighting_scheme=args.weighting,
         pruning_scheme=args.pruning,
+        metablocking_engine=args.metablocking_engine,
         scheduler=args.scheduler,
         budget=args.budget,
         match_threshold=args.threshold,
@@ -75,6 +76,12 @@ def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--no-metablocking", action="store_true", help="disable meta-blocking")
     parser.add_argument("--weighting", default="CBS", help="meta-blocking weighting scheme")
     parser.add_argument("--pruning", default="WNP", help="meta-blocking pruning scheme")
+    parser.add_argument(
+        "--metablocking-engine",
+        default="index",
+        choices=["index", "graph"],
+        help="meta-blocking engine: array-backed streaming (index) or legacy object graph",
+    )
     parser.add_argument("--scheduler", default="weight_order", help="progressive scheduler")
     parser.add_argument("--budget", type=int, default=None, help="comparison budget (default: unlimited)")
     parser.add_argument("--threshold", type=float, default=0.55, help="match threshold")

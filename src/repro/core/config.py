@@ -29,6 +29,10 @@ class WorkflowConfig:
         Whether meta-blocking restructures the blocks before scheduling.
     weighting_scheme / pruning_scheme:
         Meta-blocking configuration (ignored when meta-blocking is off).
+    metablocking_engine:
+        Execution engine of the meta-blocking stage: ``"index"`` (default,
+        array-backed streaming engine) or ``"graph"`` (legacy object graph).
+        Both retain identical comparisons; see :mod:`repro.metablocking`.
     scheduler:
         Progressive scheduler name: ``"weight_order"``, ``"random"``,
         ``"sorted_list"``, ``"hierarchy"``, ``"psnm"``, ``"progressive_blocks"``,
@@ -57,6 +61,7 @@ class WorkflowConfig:
     enable_metablocking: bool = True
     weighting_scheme: str = "CBS"
     pruning_scheme: str = "WNP"
+    metablocking_engine: str = "index"
     scheduler: str = "weight_order"
     budget: Optional[int] = None
     match_threshold: float = 0.55
@@ -73,7 +78,10 @@ class WorkflowConfig:
         if self.enable_filtering:
             stages.append(f"filtering({self.filtering_ratio})")
         if self.enable_metablocking:
-            stages.append(f"metablocking({self.weighting_scheme}+{self.pruning_scheme})")
+            stages.append(
+                f"metablocking({self.weighting_scheme}+{self.pruning_scheme},"
+                f" engine={self.metablocking_engine})"
+            )
         stages.append(f"scheduler={self.scheduler}")
         stages.append(f"matcher(threshold={self.match_threshold})")
         if self.iterate_merges:

@@ -199,11 +199,16 @@ class ERWorkflow:
         candidates: Union[BlockCollection, List[Comparison]]
         if config.enable_metablocking:
             start = time.perf_counter()
-            metablocking = MetaBlocking(config.weighting_scheme, config.pruning_scheme)
+            metablocking = MetaBlocking(
+                config.weighting_scheme,
+                config.pruning_scheme,
+                engine=config.metablocking_engine,
+            )
             weighted = metablocking.weighted_comparisons(blocks)
             candidates = weighted
             report.add_stage(
-                f"metablocking[{config.weighting_scheme}+{config.pruning_scheme}]",
+                f"metablocking[{config.weighting_scheme}+{config.pruning_scheme}"
+                f"@{metablocking.last_engine}]",
                 graph_edges=metablocking.last_graph_edges,
                 retained=metablocking.last_retained_edges,
                 seconds=time.perf_counter() - start,

@@ -1,11 +1,28 @@
 """End-to-end meta-blocking: block collection in, restructured comparisons out.
 
-:class:`MetaBlocking` wires together the blocking graph, a weighting scheme
-and a pruning scheme.  Its output can be consumed in two forms:
+:class:`MetaBlocking` wires together a weighting scheme, a pruning scheme and
+one of two execution engines:
 
+* ``engine="index"`` (the default) -- the array-backed
+  :class:`~repro.metablocking.entity_index.EntityIndexEngine`, which streams
+  over CSR block-membership arrays and never materialises pruned edges;
+* ``engine="graph"`` -- the legacy object
+  :class:`~repro.metablocking.graph.BlockingGraph`, kept as the readable
+  reference implementation and as the test oracle of the equivalence suite.
+
+Both engines retain the same comparisons for every (weighting x pruning)
+combination; the index engine falls back to the graph engine automatically
+when custom (user-defined) scheme instances are supplied, since only the five
+standard weighting and six standard pruning schemes have streaming
+implementations.
+
+The output can be consumed in three forms:
+
+* :meth:`MetaBlocking.iter_retained` -- a lazy generator of retained
+  :class:`~repro.metablocking.graph.WeightedEdge` objects;
 * :meth:`MetaBlocking.weighted_comparisons` -- the retained edges as weighted
-  :class:`~repro.datamodel.pairs.Comparison` objects (the natural input of a
-  progressive scheduler, which wants the matching-likelihood estimates);
+  :class:`~repro.datamodel.pairs.Comparison` objects, heaviest first (the
+  natural input of a progressive scheduler);
 * :meth:`MetaBlocking.process` -- a restructured
   :class:`~repro.blocking.base.BlockCollection` with one (two-member) block
   per retained edge (the natural input of a conventional matching phase).
@@ -13,18 +30,40 @@ and a pruning scheme.  Its output can be consumed in two forms:
 
 from __future__ import annotations
 
-from typing import List, Optional, Union
+from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.blocking.base import Block, BlockCollection
 from repro.datamodel.collection import CleanCleanTask
 from repro.datamodel.pairs import Comparison
+from repro.metablocking.entity_index import EntityIndexEngine
 from repro.metablocking.graph import BlockingGraph, WeightedEdge
-from repro.metablocking.pruning import PruningScheme, WeightedEdgePruning, get_pruning_scheme
-from repro.metablocking.weighting import CBS, WeightingScheme, get_weighting_scheme
+from repro.metablocking.pruning import (
+    CardinalityEdgePruning,
+    CardinalityNodePruning,
+    PruningScheme,
+    ReciprocalCardinalityNodePruning,
+    ReciprocalWeightedNodePruning,
+    WeightedEdgePruning,
+    WeightedNodePruning,
+    get_pruning_scheme,
+)
+from repro.metablocking.weighting import (
+    ARCS,
+    CBS,
+    ECBS,
+    EJS,
+    JS,
+    WeightingScheme,
+    get_weighting_scheme,
+)
+
+ENGINES = ("index", "graph")
+
+_INDEX_WEIGHTINGS = {CBS: "CBS", ECBS: "ECBS", JS: "JS", EJS: "EJS", ARCS: "ARCS"}
 
 
 class MetaBlocking:
-    """Meta-blocking pipeline with pluggable weighting and pruning schemes.
+    """Meta-blocking pipeline with pluggable weighting, pruning and engine.
 
     Parameters
     ----------
@@ -34,12 +73,16 @@ class MetaBlocking:
     pruning:
         A :class:`PruningScheme` instance or its name (``"WEP"``, ``"CEP"``,
         ``"WNP"``, ``"CNP"``, ``"ReciprocalWNP"``, ``"ReciprocalCNP"``).
+    engine:
+        ``"index"`` (default) for the array-backed streaming engine,
+        ``"graph"`` for the legacy object-graph engine.
     """
 
     def __init__(
         self,
         weighting: Union[WeightingScheme, str, None] = None,
         pruning: Union[PruningScheme, str, None] = None,
+        engine: str = "index",
     ) -> None:
         if weighting is None:
             self.weighting: WeightingScheme = CBS()
@@ -53,10 +96,16 @@ class MetaBlocking:
             self.pruning = get_pruning_scheme(pruning)
         else:
             self.pruning = pruning
-        #: statistics of the last run, reported by benchmarks
+        if engine not in ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; available: {ENGINES}")
+        self.engine = engine
+        #: statistics of the last run, reported by benchmarks; populated
+        #: identically by both engines once the output has been consumed
         self.last_input_comparisons = 0
         self.last_graph_edges = 0
         self.last_retained_edges = 0
+        #: engine that actually executed the last run ("index" or "graph")
+        self.last_engine: Optional[str] = None
 
     @property
     def name(self) -> str:
@@ -64,20 +113,71 @@ class MetaBlocking:
 
     # ------------------------------------------------------------------
     def build_graph(self, blocks: BlockCollection) -> BlockingGraph:
-        """Construct the blocking graph of ``blocks``."""
+        """Construct the (legacy) blocking graph of ``blocks``."""
         return BlockingGraph(blocks)
+
+    def _index_spec(self) -> Optional[Tuple[str, str, dict]]:
+        """(weighting, pruning, kwargs) when the index engine applies, else ``None``.
+
+        Exact type checks keep user-defined subclasses (whose overridden
+        behaviour the streaming engine cannot replicate) on the graph engine.
+        """
+        weighting_name = _INDEX_WEIGHTINGS.get(type(self.weighting))
+        if weighting_name is None:
+            return None
+        pruning = self.pruning
+        pruning_type = type(pruning)
+        if pruning_type is WeightedEdgePruning:
+            return weighting_name, "WEP", {}
+        if pruning_type is CardinalityEdgePruning:
+            return weighting_name, "CEP", {"budget": pruning.budget}
+        if pruning_type is WeightedNodePruning:
+            return weighting_name, "WNP", {}
+        if pruning_type is ReciprocalWeightedNodePruning:
+            return weighting_name, "ReciprocalWNP", {}
+        if pruning_type is CardinalityNodePruning:
+            return weighting_name, "CNP", {"k": pruning.k}
+        if pruning_type is ReciprocalCardinalityNodePruning:
+            return weighting_name, "ReciprocalCNP", {"k": pruning.k}
+        return None
+
+    # ------------------------------------------------------------------
+    def iter_retained(self, blocks: BlockCollection) -> Iterator[WeightedEdge]:
+        """Lazily yield the edges surviving the pruning scheme.
+
+        With the index engine, pruned edges are never materialised and peak
+        memory stays proportional to the largest node neighbourhood.  The
+        last-run statistics are populated once the generator is exhausted.
+        """
+        self.last_input_comparisons = blocks.total_comparisons()
+        self.last_graph_edges = 0
+        self.last_retained_edges = 0
+        spec = self._index_spec() if self.engine == "index" else None
+        if spec is not None:
+            self.last_engine = "index"
+            weighting_name, pruning_name, kwargs = spec
+            index = EntityIndexEngine(blocks)
+            yield from index.iter_retained(weighting_name, pruning_name, **kwargs)
+            self.last_graph_edges = index.last_num_edges or 0
+            self.last_retained_edges = index.last_retained or 0
+        else:
+            self.last_engine = "graph"
+            graph = self.build_graph(blocks)
+            self.last_graph_edges = graph.num_edges
+            retained = self.pruning.prune(graph, self.weighting)
+            self.last_retained_edges = len(retained)
+            yield from retained
 
     def retained_edges(self, blocks: BlockCollection) -> List[WeightedEdge]:
         """Weight the graph and return the edges surviving the pruning scheme."""
-        graph = self.build_graph(blocks)
-        self.last_input_comparisons = blocks.total_comparisons()
-        self.last_graph_edges = graph.num_edges
-        retained = self.pruning.prune(graph, self.weighting)
-        self.last_retained_edges = len(retained)
-        return retained
+        return list(self.iter_retained(blocks))
 
     def weighted_comparisons(self, blocks: BlockCollection) -> List[Comparison]:
-        """The retained edges as weighted comparisons, heaviest first."""
+        """The retained edges as weighted comparisons, heaviest first.
+
+        Ordering is fully deterministic: ties in weight are broken by the
+        canonical (lexicographic) identifier pair.
+        """
         edges = self.retained_edges(blocks)
         edges.sort(key=lambda e: (-e.weight, e.first, e.second))
         return [edge.as_comparison() for edge in edges]
@@ -93,11 +193,11 @@ class MetaBlocking:
         downstream components keep treating the comparisons as
         cross-collection ones.
         """
-        edges = self.retained_edges(blocks)
         restructured = BlockCollection(name=self.name)
-        for edge in edges:
+        bilateral = data is not None and isinstance(data, CleanCleanTask)
+        for edge in self.iter_retained(blocks):
             key = f"edge:{edge.first}|{edge.second}"
-            if data is not None and isinstance(data, CleanCleanTask):
+            if bilateral:
                 if edge.first in data.left:
                     restructured.add(
                         Block(key, left_members=[edge.first], right_members=[edge.second])

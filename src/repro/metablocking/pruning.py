@@ -66,7 +66,9 @@ class WeightedEdgePruning(PruningScheme):
         edges = self._weighted_edges(graph, weighting)
         if not edges:
             return []
-        threshold = sum(edge.weight for edge in edges) / len(edges)
+        # fsum: the exactly rounded mean is independent of accumulation order,
+        # so the streaming entity-index engine reproduces it bit-for-bit
+        threshold = math.fsum(edge.weight for edge in edges) / len(edges)
         return [edge for edge in edges if edge.weight > threshold or math.isclose(edge.weight, threshold) and edge.weight > 0]
 
 
@@ -81,6 +83,8 @@ class CardinalityEdgePruning(PruningScheme):
     name = "CEP"
 
     def __init__(self, budget: Optional[int] = None) -> None:
+        if budget is not None and budget < 0:
+            raise ValueError(f"CEP budget must be non-negative, got {budget}")
         self.budget = budget
 
     def _default_budget(self, graph: BlockingGraph) -> int:
@@ -110,14 +114,13 @@ class WeightedNodePruning(PruningScheme):
         edges = self._weighted_edges(graph, weighting)
         if not edges:
             return []
-        # node-local weight sums and counts
-        sums: Dict[str, float] = {}
-        counts: Dict[str, int] = {}
+        # node-local incident weights; fsum keeps the per-node mean exactly
+        # rounded (and therefore independent of edge enumeration order)
+        incident: Dict[str, List[float]] = {}
         for edge in edges:
             for node in (edge.first, edge.second):
-                sums[node] = sums.get(node, 0.0) + edge.weight
-                counts[node] = counts.get(node, 0) + 1
-        thresholds = {node: sums[node] / counts[node] for node in sums}
+                incident.setdefault(node, []).append(edge.weight)
+        thresholds = {node: math.fsum(weights) / len(weights) for node, weights in incident.items()}
 
         retained = []
         for edge in edges:

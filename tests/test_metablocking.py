@@ -175,6 +175,47 @@ class TestMetaBlockingPipeline:
             )
             assert quality.pair_completeness >= 0.85
 
+    @pytest.mark.parametrize("engine", ["graph", "index"])
+    def test_last_run_statistics_populated_by_both_engines(self, engine):
+        blocks = make_blocks()
+        metablocking = MetaBlocking("CBS", "CEP", engine=engine)
+        assert metablocking.last_input_comparisons == 0  # nothing ran yet
+        retained = metablocking.retained_edges(blocks)
+        assert metablocking.last_engine == engine
+        assert metablocking.last_input_comparisons == blocks.total_comparisons()
+        assert metablocking.last_graph_edges == 5
+        assert metablocking.last_retained_edges == len(retained)
+        # a fresh run on an empty collection resets the statistics
+        metablocking.retained_edges(BlockCollection())
+        assert metablocking.last_input_comparisons == 0
+        assert metablocking.last_graph_edges == 0
+        assert metablocking.last_retained_edges == 0
+
+    @pytest.mark.parametrize("engine", ["graph", "index"])
+    def test_weighted_comparisons_ordering_is_deterministic_under_ties(self, engine):
+        # every pair shares exactly one block -> all CBS weights tie at 1.0
+        blocks = BlockCollection(
+            [
+                Block("t1", members=["d", "c"]),
+                Block("t2", members=["b", "a"]),
+                Block("t3", members=["c", "b"]),
+                Block("t4", members=["a", "d"]),
+            ]
+        )
+        metablocking = MetaBlocking("CBS", "CNP", engine=engine)
+        comparisons = metablocking.weighted_comparisons(blocks)
+        assert all(c.weight == 1.0 for c in comparisons)
+        # with k=1 each node endorses its (weight, first, second)-largest edge:
+        # (a,b) is endorsed by neither endpoint and is pruned; the surviving
+        # ties are ordered by the canonical pair, stable across runs and engines
+        assert [c.pair for c in comparisons] == [
+            ("a", "d"),
+            ("b", "c"),
+            ("c", "d"),
+        ]
+        rerun = MetaBlocking("CBS", "CNP", engine=engine).weighted_comparisons(blocks)
+        assert [c.pair for c in rerun] == [c.pair for c in comparisons]
+
     def test_node_centric_keeps_more_recall_than_edge_centric(self, small_dirty_dataset):
         blocks = TokenBlocking().build(small_dirty_dataset.collection)
         node_centric = MetaBlocking("CBS", "CNP").weighted_comparisons(blocks)

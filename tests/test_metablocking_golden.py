@@ -1,0 +1,98 @@
+"""Golden regression fixtures for meta-blocking.
+
+``tests/fixtures/metablocking/*.json`` freezes the retained-edge output of the
+legacy graph engine on the builtin datasets (token blocking, every weighting x
+pruning combination).  Both engines must keep reproducing these exact results,
+so future optimisations of either engine cannot silently change what
+meta-blocking retains.
+
+Regenerating the fixtures (only when the meta-blocking semantics change on
+purpose): run this module as a script::
+
+    PYTHONPATH=src python tests/test_metablocking_golden.py
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.blocking.token_blocking import TokenBlocking
+from repro.datasets.builtin import load_census, load_restaurants
+from repro.metablocking import MetaBlocking
+
+FIXTURES_DIR = Path(__file__).parent / "fixtures" / "metablocking"
+
+WEIGHTING_SCHEMES = ("CBS", "ECBS", "JS", "EJS", "ARCS")
+PRUNING_SCHEMES = ("WEP", "CEP", "WNP", "CNP", "ReciprocalWNP", "ReciprocalCNP")
+DATASETS = {"restaurants": load_restaurants, "census": load_census}
+
+
+def _blocks(dataset_name: str):
+    return TokenBlocking().build(DATASETS[dataset_name]().collection)
+
+
+def _fixture(dataset_name: str) -> dict:
+    path = FIXTURES_DIR / f"{dataset_name}.json"
+    return json.loads(path.read_text(encoding="utf-8"))
+
+
+@pytest.mark.parametrize("dataset_name", sorted(DATASETS))
+def test_fixture_covers_all_combos(dataset_name):
+    fixture = _fixture(dataset_name)
+    expected = {f"{w}+{p}" for w in WEIGHTING_SCHEMES for p in PRUNING_SCHEMES}
+    assert set(fixture["combos"]) == expected
+
+
+@pytest.mark.parametrize("engine", ("graph", "index"))
+@pytest.mark.parametrize("dataset_name", sorted(DATASETS))
+def test_engines_reproduce_golden_output(dataset_name, engine):
+    blocks = _blocks(dataset_name)
+    fixture = _fixture(dataset_name)
+    for combo, frozen in fixture["combos"].items():
+        weighting, pruning = combo.split("+")
+        metablocking = MetaBlocking(weighting, pruning, engine=engine)
+        edges = metablocking.retained_edges(blocks)
+        assert metablocking.last_graph_edges == frozen["graph_edges"], combo
+        actual = sorted([edge.first, edge.second, edge.weight] for edge in edges)
+        expected = frozen["retained"]
+        assert [row[:2] for row in actual] == [row[:2] for row in expected], (
+            f"{dataset_name}/{combo}/{engine}: retained pair set changed"
+        )
+        for (first, second, weight), (_, _, frozen_weight) in zip(actual, expected):
+            assert weight == pytest.approx(frozen_weight, abs=1e-9), (
+                f"{dataset_name}/{combo}/{engine}: weight of ({first}, {second}) changed"
+            )
+
+
+def _regenerate() -> None:
+    FIXTURES_DIR.mkdir(parents=True, exist_ok=True)
+    for dataset_name in DATASETS:
+        blocks = _blocks(dataset_name)
+        combos = {}
+        for weighting in WEIGHTING_SCHEMES:
+            for pruning in PRUNING_SCHEMES:
+                metablocking = MetaBlocking(weighting, pruning, engine="graph")
+                edges = metablocking.retained_edges(blocks)
+                combos[f"{weighting}+{pruning}"] = {
+                    "graph_edges": metablocking.last_graph_edges,
+                    "retained": sorted([e.first, e.second, e.weight] for e in edges),
+                }
+        payload = {
+            "dataset": dataset_name,
+            "blocking": "token",
+            "note": (
+                "frozen output of the legacy graph engine; regenerate only if "
+                "the meta-blocking semantics intentionally change"
+            ),
+            "combos": combos,
+        }
+        path = FIXTURES_DIR / f"{dataset_name}.json"
+        path.write_text(json.dumps(payload, indent=1, sort_keys=True) + "\n", encoding="utf-8")
+        print(f"wrote {path}")
+
+
+if __name__ == "__main__":
+    _regenerate()
