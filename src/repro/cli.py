@@ -56,6 +56,7 @@ def _workflow_from_args(args: argparse.Namespace) -> ERWorkflow:
         pruning_scheme=args.pruning,
         metablocking_engine=args.metablocking_engine,
         scheduler=args.scheduler,
+        matching_engine=args.matching_engine,
         budget=args.budget,
         match_threshold=args.threshold,
         iterate_merges=args.iterate,
@@ -83,6 +84,12 @@ def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
         help="meta-blocking engine: array-backed streaming (index) or legacy object graph",
     )
     parser.add_argument("--scheduler", default="weight_order", help="progressive scheduler")
+    parser.add_argument(
+        "--matching-engine",
+        default="batch",
+        choices=["batch", "pairwise"],
+        help="comparison execution: batched columnar scoring (batch) or the per-pair oracle",
+    )
     parser.add_argument("--budget", type=int, default=None, help="comparison budget (default: unlimited)")
     parser.add_argument("--threshold", type=float, default=0.55, help="match threshold")
     parser.add_argument("--iterate", action="store_true", help="enable merging-based iteration")

@@ -37,6 +37,11 @@ class WorkflowConfig:
         Progressive scheduler name: ``"weight_order"``, ``"random"``,
         ``"sorted_list"``, ``"hierarchy"``, ``"psnm"``, ``"progressive_blocks"``,
         ``"cost_benefit"``.
+    matching_engine:
+        Comparison-execution engine of the matching phase: ``"batch"``
+        (default, scores candidate pairs in vectorised passes against a
+        columnar profile store) or ``"pairwise"`` (the per-pair oracle).
+        Decisions are bit-identical; see :mod:`repro.matching`.
     budget:
         Optional comparison budget for the matching phase (``None`` = resolve
         every scheduled comparison).
@@ -63,6 +68,7 @@ class WorkflowConfig:
     pruning_scheme: str = "WNP"
     metablocking_engine: str = "index"
     scheduler: str = "weight_order"
+    matching_engine: str = "batch"
     budget: Optional[int] = None
     match_threshold: float = 0.55
     use_tfidf: bool = True
@@ -83,7 +89,9 @@ class WorkflowConfig:
                 f" engine={self.metablocking_engine})"
             )
         stages.append(f"scheduler={self.scheduler}")
-        stages.append(f"matcher(threshold={self.match_threshold})")
+        stages.append(
+            f"matcher(threshold={self.match_threshold}, engine={self.matching_engine})"
+        )
         if self.iterate_merges:
             stages.append("iterative-merging")
         stages.append(self.clustering)

@@ -44,6 +44,7 @@ from repro.matching.clustering import (
     ConnectedComponentsClustering,
     MergeCenterClustering,
 )
+from repro.matching.engine import MatchingEngine
 from repro.matching.matchers import Matcher, ProfileSimilarityMatcher
 from repro.metablocking.pipeline import MetaBlocking
 from repro.progressive.budget import Budget
@@ -231,6 +232,7 @@ class ERWorkflow:
         start = time.perf_counter()
         scheduler = self._make_scheduler()
         matcher = self._make_matcher(data)
+        engine = MatchingEngine(matcher, engine=config.matching_engine)
         progressive = run_progressive(
             scheduler=scheduler,
             matcher=matcher,
@@ -239,12 +241,13 @@ class ERWorkflow:
             budget=config.budget,
             ground_truth=ground_truth,
             keep_decisions=False,
+            engine=engine,
         )
         result.comparisons_executed += progressive.comparisons_executed
         result.matches = list(progressive.declared_matches)
         result.curve = progressive.curve
         report.add_stage(
-            f"matching[{scheduler.name}]",
+            f"matching[{scheduler.name}@{engine.last_engine or engine.engine}]",
             comparisons=progressive.comparisons_executed,
             declared_matches=len(progressive.declared_matches),
             seconds=time.perf_counter() - start,
@@ -254,7 +257,7 @@ class ERWorkflow:
         if config.iterate_merges and result.matches:
             start = time.perf_counter()
             new_matches, extra_comparisons, iterations = self._iterate_merges(
-                data, matcher, result.matches
+                data, engine, result.matches
             )
             result.matches.extend(new_matches)
             result.comparisons_executed += extra_comparisons
@@ -294,7 +297,7 @@ class ERWorkflow:
     def _iterate_merges(
         self,
         data: ERInput,
-        matcher: Matcher,
+        engine: MatchingEngine,
         matches: Sequence[Tuple[str, str]],
     ) -> Tuple[List[Tuple[str, str]], int, int]:
         """Merging-based update phase.
@@ -303,6 +306,12 @@ class ERWorkflow:
         against the (not yet matched) descriptions that share a token-blocking
         block with any of its sources, which may reveal matches missed by the
         pairwise phase.  Returns (new matches, extra comparisons, iterations).
+
+        Comparisons run through the matching ``engine``: the candidates of one
+        merged description are scored as a single batch against the engine's
+        profile store (the unmerged candidates stay cached across the whole
+        phase), and the transient merged profile is invalidated as soon as its
+        batch is done, so a merge only ever touches its own store entry.
         """
         from repro.blocking.token_blocking import TokenBlocking
 
@@ -349,14 +358,32 @@ class ERWorkflow:
                         candidate_ids.update(block_members[block_index])
                 candidate_ids.discard(first)
                 candidate_ids.discard(second)
-                for candidate_id in sorted(candidate_ids):
+                candidates = [
+                    (candidate_id, candidate)
+                    for candidate_id in sorted(candidate_ids)
+                    if (candidate := data.get(candidate_id)) is not None
+                ]
+                if engine.batch_applicable:
+                    # stateless scoring: the whole candidate neighbourhood is
+                    # scored in one batch, and the cluster check runs at
+                    # decision time (in the same sorted order as the per-pair
+                    # loop) because a union made for an earlier candidate can
+                    # absorb a later one
+                    decisions = engine.decide_pairs([(merged, c) for _, c in candidates])
+                    engine.invalidate(merged.identifier)
+                else:
+                    # a fallback matcher may be stateful (e.g. the noisy
+                    # oracle's RNG): only the pairs that survive the cluster
+                    # check may reach it, in the historical call order
+                    decisions = [None] * len(candidates)
+                for index, (candidate_id, candidate) in enumerate(candidates):
                     if find(candidate_id) == find(first):
                         continue
-                    candidate = data.get(candidate_id)
-                    if candidate is None:
-                        continue
                     extra_comparisons += 1
-                    if matcher.match(merged, candidate):
+                    decision = decisions[index]
+                    if decision is None:
+                        decision = engine.decide(merged, candidate)
+                    if decision.is_match:
                         union(first, candidate_id)
                         pair = (first, candidate_id)
                         found_this_round.append(pair)

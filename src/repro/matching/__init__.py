@@ -6,11 +6,37 @@ provides:
 
 * similarity-based matchers over schema-agnostic token profiles and
   schema-aware weighted attributes (:mod:`repro.matching.matchers`);
+* a batched comparison-execution engine (:mod:`repro.matching.engine`);
 * a ground-truth *oracle* matcher with configurable noise and per-comparison
   cost, used by experiments that need to isolate scheduling behaviour from
   matcher quality (:mod:`repro.matching.oracle`);
 * equivalence clustering of pairwise match decisions
   (:mod:`repro.matching.clustering`).
+
+Execution engines
+-----------------
+Like the meta-blocking stage, matching separates *what* is decided from *how*
+the decisions are executed.  The matchers are the readable per-pair
+formulation, but they re-derive both descriptions' token profiles on every
+comparison, so an entity appearing in *K* candidate pairs pays its
+tokenisation and TF-IDF weighting cost *K* times.
+:class:`~repro.matching.engine.MatchingEngine` (``engine="batch"``, the
+workflow default) instead resolves each description once into a columnar
+:class:`~repro.text.profile_store.ProfileStore` -- interned integer token
+ids, sorted id arrays and L2-normalised TF-IDF weight columns -- and scores
+candidate pairs in vectorised passes (NumPy when importable, with a
+bit-identical pure-Python fallback).
+
+The per-pair matchers remain the *oracle*: ``engine="pairwise"`` executes
+them verbatim, the equivalence suite (``tests/test_matching_equivalence.py``)
+pins both engines to bit-identical decisions, and the batch engine falls back
+to the oracle automatically whenever it cannot replicate the configured
+matcher -- :class:`~repro.matching.matchers.RuleBasedMatcher`,
+:class:`~repro.matching.matchers.AttributeWeightedMatcher`, custom
+:class:`~repro.matching.matchers.Matcher` implementations and
+``ProfileSimilarityMatcher`` *subclasses* (whose overridden similarity the
+columnar path cannot see).  Swapping engines therefore never changes a
+workflow's output, only its speed.
 """
 
 from repro.matching.clustering import (
@@ -18,8 +44,10 @@ from repro.matching.clustering import (
     ConnectedComponentsClustering,
     MergeCenterClustering,
 )
+from repro.matching.engine import MATCHING_ENGINES, MatchingEngine
 from repro.matching.matchers import (
     AttributeWeightedMatcher,
+    DecisionList,
     MatchDecision,
     Matcher,
     ProfileSimilarityMatcher,
@@ -32,8 +60,11 @@ __all__ = [
     "AttributeWeightedMatcher",
     "CenterClustering",
     "ConnectedComponentsClustering",
+    "DecisionList",
+    "MATCHING_ENGINES",
     "MatchDecision",
     "Matcher",
+    "MatchingEngine",
     "MergeCenterClustering",
     "OracleMatcher",
     "ProfileSimilarityMatcher",

@@ -1,0 +1,364 @@
+"""Batched comparison-execution engine for the matching phase.
+
+The per-pair matchers in :mod:`repro.matching.matchers` are the readable
+formulation of the matching phase, but they re-derive both descriptions'
+token profiles on every comparison.  :class:`MatchingEngine` executes the
+same decisions in batches against a columnar
+:class:`~repro.text.profile_store.ProfileStore`: each description is
+tokenised, interned and (in TF-IDF mode) weighted exactly once, and candidate
+pairs are then scored in passes over flat integer/float columns.
+
+Two engines sit behind one interface, mirroring the meta-blocking engines of
+PR 1:
+
+* ``engine="batch"`` (the default) -- resolves candidate pairs against the
+  profile store and scores them in vectorised passes: NumPy when importable
+  (token-id gathers against a vocabulary-sized scratch column, grouped by the
+  left-hand description so its column is scattered once per group), and a
+  pure-Python fallback over cached ``frozenset``/dict views.  Both paths are
+  bit-identical to each other *and* to the per-pair matcher:
+
+  - set similarities reduce to integer intersection counts, and the final
+    score is computed with the very expressions of
+    :mod:`repro.text.similarity`;
+  - the TF-IDF cosine accumulates the dot product with :func:`math.fsum`
+    (exactly rounded, order-independent) over elementwise products that IEEE
+    multiplication makes identical regardless of operand order, and divides
+    by the norms the store precomputed with ``fsum`` -- matching
+    :func:`repro.text.vectorizer.weighted_cosine` bit for bit.
+
+* ``engine="pairwise"`` -- delegates to the per-pair matcher, which remains
+  the oracle of the equivalence suite (``tests/test_matching_equivalence.py``)
+  and the automatic fallback whenever the batch path cannot replicate the
+  matcher: :class:`~repro.matching.matchers.RuleBasedMatcher`,
+  :class:`~repro.matching.matchers.AttributeWeightedMatcher`, custom
+  :class:`~repro.matching.matchers.Matcher` implementations and
+  ``ProfileSimilarityMatcher`` *subclasses* (whose overridden behaviour the
+  columnar path cannot see) all run pairwise even under ``engine="batch"``.
+
+Because decisions are bit-identical and emitted in input order, swapping the
+engines never changes a workflow's output -- only its speed.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.datamodel.collection import CleanCleanTask, EntityCollection
+from repro.datamodel.description import EntityDescription
+from repro.datamodel.pairs import Comparison
+from repro.matching.matchers import (
+    DecisionList,
+    MatchDecision,
+    Matcher,
+    ProfileSimilarityMatcher,
+)
+from repro.text.profile_store import Profile, ProfileStore
+from repro.text.vectorizer import weighted_cosine
+
+try:  # pragma: no cover - exercised implicitly when numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: Execution engines of the matching phase.
+MATCHING_ENGINES = ("batch", "pairwise")
+
+
+def _set_score(similarity_name: str, size_a: int, size_b: int, shared: int) -> float:
+    """Set similarity from cardinalities, using the exact expressions of
+    :mod:`repro.text.similarity` so scores are bit-identical to the oracle."""
+    if not size_a and not size_b:
+        return 1.0
+    if not size_a or not size_b:
+        return 0.0
+    if similarity_name == "jaccard":
+        return shared / (size_a + size_b - shared)
+    if similarity_name == "dice":
+        return 2 * shared / (size_a + size_b)
+    if similarity_name == "overlap":
+        return shared / min(size_a, size_b)
+    # cosine
+    return shared / (size_a * size_b) ** 0.5
+
+
+class MatchingEngine:
+    """Comparison executor with a batched and a per-pair (oracle) engine.
+
+    Parameters
+    ----------
+    matcher:
+        The matcher whose decisions are executed.  The batch engine natively
+        supports :class:`~repro.matching.matchers.ProfileSimilarityMatcher`
+        (both its set-similarity and TF-IDF modes); every other matcher --
+        including subclasses -- transparently falls back to the per-pair
+        oracle, so the engine is always safe to use.
+    engine:
+        ``"batch"`` (default) or ``"pairwise"``.
+    use_numpy:
+        Force (``True``, raising :class:`ValueError` when NumPy is not
+        importable) or forbid (``False``) the vectorised scoring path;
+        ``None`` uses NumPy whenever importable.  Both paths are
+        bit-identical.
+
+    Notes
+    -----
+    An engine instance owns one :class:`~repro.text.profile_store.ProfileStore`
+    bound to the first input data it sees; it is meant to live for one
+    workflow run (one dataset).  :attr:`last_engine` reports which engine
+    actually executed the most recent call (``"batch"`` or ``"pairwise"``).
+    """
+
+    def __init__(
+        self,
+        matcher: Matcher,
+        engine: str = "batch",
+        use_numpy: Optional[bool] = None,
+    ) -> None:
+        if engine not in MATCHING_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; available: {MATCHING_ENGINES}")
+        if use_numpy and _np is None:
+            raise ValueError(
+                "use_numpy=True but numpy is not importable; "
+                "pass use_numpy=None to fall back automatically"
+            )
+        self.matcher = matcher
+        self.engine = engine
+        self._use_numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
+        self._store: Optional[ProfileStore] = None
+        self._store_source: Optional[object] = None
+        #: engine that actually executed the last call
+        self.last_engine: Optional[str] = None
+        #: comparisons skipped by the last ``decide_all`` (unresolvable ids)
+        self.last_skipped = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def batch_applicable(self) -> bool:
+        """Whether the batch engine can replicate the configured matcher.
+
+        The check is an exact type check, like the meta-blocking engine
+        dispatch: subclasses may override ``similarity`` in ways the columnar
+        path cannot replicate, so they stay on the per-pair oracle.
+        """
+        return self.engine == "batch" and type(self.matcher) is ProfileSimilarityMatcher
+
+    @property
+    def store(self) -> Optional[ProfileStore]:
+        """The engine's profile store (``None`` until the first batch call)."""
+        return self._store
+
+    def invalidate(self, identifier: str) -> bool:
+        """Invalidate one entity's store entry (after its description changed)."""
+        return self._store.invalidate(identifier) if self._store is not None else False
+
+    def _store_for(self, source: Optional[object]) -> ProfileStore:
+        if self._store is None or (source is not None and source is not self._store_source):
+            matcher = self.matcher
+            if matcher.vectorizer is not None:
+                self._store = ProfileStore(vectorizer=matcher.vectorizer)
+            else:
+                self._store = ProfileStore(
+                    stop_words=matcher.stop_words,
+                    min_token_length=matcher.min_token_length,
+                )
+            self._store_source = source
+        return self._store
+
+    # ------------------------------------------------------------------
+    # execution
+    # ------------------------------------------------------------------
+    def decide_all(
+        self,
+        comparisons: Sequence[Comparison],
+        data: Union[EntityCollection, CleanCleanTask],
+    ) -> DecisionList:
+        """Decide ``comparisons`` against ``data``; same contract as
+        :meth:`Matcher.decide_all`, decisions in input order."""
+        if not self.batch_applicable:
+            self.last_engine = "pairwise"
+            decisions = self.matcher.decide_all(comparisons, data)
+            self.last_skipped = decisions.skipped
+            return decisions
+
+        self.last_engine = "batch"
+        store = self._store_for(data)
+        resolved: List[Tuple[Comparison, Profile, Profile]] = []
+        decisions = DecisionList()
+        for comparison in comparisons:
+            first = data.get(comparison.first)
+            second = data.get(comparison.second)
+            if first is None or second is None:
+                decisions.record_skip(comparison.pair)
+                continue
+            resolved.append((comparison, store.profile(first), store.profile(second)))
+        scores = self._score(store, [(a, b) for _, a, b in resolved])
+        matcher = self.matcher
+        threshold = matcher.threshold
+        cost = matcher.cost
+        decisions.extend(
+            MatchDecision(
+                comparison=comparison,
+                similarity=score,
+                is_match=score >= threshold,
+                cost=cost,
+            )
+            for (comparison, _, _), score in zip(resolved, scores)
+        )
+        self.last_skipped = decisions.skipped
+        decisions.warn_if_skipped()
+        return decisions
+
+    def decide(
+        self, first: EntityDescription, second: EntityDescription
+    ) -> MatchDecision:
+        """Decide one explicit pair through the engine.
+
+        Even single-pair execution benefits from the store: the profiles of
+        both descriptions are cached, so a description compared *K* times by
+        an adaptive scheduler is tokenised and weighted only once.
+        """
+        if not self.batch_applicable:
+            self.last_engine = "pairwise"
+            return self.matcher.decide(first, second)
+        self.last_engine = "batch"
+        store = self._store_for(None)
+        score = self._score(store, [(store.profile(first), store.profile(second))])[0]
+        return MatchDecision(
+            comparison=Comparison(first.identifier, second.identifier),
+            similarity=score,
+            is_match=score >= self.matcher.threshold,
+            cost=self.matcher.cost,
+        )
+
+    def decide_pairs(
+        self,
+        pairs: Sequence[Tuple[EntityDescription, EntityDescription]],
+    ) -> List[MatchDecision]:
+        """Decide explicit description pairs (no identifier resolution).
+
+        Used by the update/iterate phase, where one side of each pair is a
+        freshly merged description that lives outside the input collection;
+        the store caches it by identifier and recomputes automatically if a
+        different object later reuses the identifier.
+        """
+        if not self.batch_applicable:
+            self.last_engine = "pairwise"
+            return [self.matcher.decide(first, second) for first, second in pairs]
+        self.last_engine = "batch"
+        store = self._store_for(None)
+        profiles = [(store.profile(first), store.profile(second)) for first, second in pairs]
+        scores = self._score(store, profiles)
+        matcher = self.matcher
+        threshold = matcher.threshold
+        cost = matcher.cost
+        return [
+            MatchDecision(
+                comparison=Comparison(first.identifier, second.identifier),
+                similarity=score,
+                is_match=score >= threshold,
+                cost=cost,
+            )
+            for (first, second), score in zip(pairs, scores)
+        ]
+
+    # ------------------------------------------------------------------
+    # scoring passes
+    # ------------------------------------------------------------------
+    def _score(
+        self, store: ProfileStore, profile_pairs: Sequence[Tuple[Profile, Profile]]
+    ) -> List[float]:
+        """Similarity of each profile pair, in input order."""
+        if not profile_pairs:
+            return []
+        # the NumPy passes scatter into a vocabulary-sized scratch column --
+        # a win amortised over a batch, pure overhead for a single pair
+        # (e.g. adaptive schedulers deciding one comparison at a time), which
+        # the bit-identical cached-set/dict path scores in O(profile) instead
+        use_numpy = self._use_numpy and len(profile_pairs) > 1
+        if store.mode == "tfidf":
+            if use_numpy:
+                return self._score_tfidf_numpy(store, profile_pairs)
+            return self._score_tfidf_python(profile_pairs)
+        if use_numpy:
+            return self._score_sets_numpy(store, profile_pairs)
+        return self._score_sets_python(profile_pairs)
+
+    def _score_sets_python(
+        self, profile_pairs: Sequence[Tuple[Profile, Profile]]
+    ) -> List[float]:
+        name = self.matcher.similarity_name
+        scores = []
+        for first, second in profile_pairs:
+            shared = len(first.id_set & second.id_set)
+            scores.append(_set_score(name, len(first), len(second), shared))
+        return scores
+
+    def _score_sets_numpy(
+        self, store: ProfileStore, profile_pairs: Sequence[Tuple[Profile, Profile]]
+    ) -> List[float]:
+        name = self.matcher.similarity_name
+        scores: List[float] = [0.0] * len(profile_pairs)
+        flags = _np.zeros(store.vocabulary_size, dtype=bool)
+        for left, group in self._grouped(profile_pairs).items():
+            left_ids = left.np_ids
+            flags[left_ids] = True
+            for index, right in group:
+                # one gather per pair: count the right profile's token ids
+                # marked by the left profile's scatter
+                shared = int(flags[right.np_ids].sum()) if len(right) else 0
+                scores[index] = _set_score(name, len(left), len(right), shared)
+            flags[left_ids] = False
+        return scores
+
+    @staticmethod
+    def _score_tfidf_python(
+        profile_pairs: Sequence[Tuple[Profile, Profile]]
+    ) -> List[float]:
+        # weight_map is a SparseVector carrying the store's precomputed norm,
+        # so this is literally the oracle's cosine over cached columns -- one
+        # copy of the bit-identity-critical logic, not a transcription of it
+        return [
+            weighted_cosine(first.weight_map or {}, second.weight_map or {})
+            for first, second in profile_pairs
+        ]
+
+    def _score_tfidf_numpy(
+        self, store: ProfileStore, profile_pairs: Sequence[Tuple[Profile, Profile]]
+    ) -> List[float]:
+        scores: List[float] = [0.0] * len(profile_pairs)
+        column = _np.zeros(store.vocabulary_size, dtype=_np.float64)
+        for left, group in self._grouped(profile_pairs).items():
+            if not len(left):
+                continue  # empty profile: cosine is 0.0 for the whole group
+            left_ids = left.np_ids
+            column[left_ids] = left.np_weights
+            left_norm = left.norm
+            for index, right in group:
+                if not len(right):
+                    continue
+                # tokens absent from the left profile gather 0.0 and
+                # contribute exact-zero products, which leave the exactly
+                # rounded fsum -- and hence bit-identity with the oracle's
+                # intersection-only accumulation -- unchanged
+                products = column[right.np_ids] * right.np_weights
+                dot = math.fsum(products.tolist())
+                if dot == 0.0:
+                    continue
+                right_norm = right.norm
+                if left_norm == 0.0 or right_norm == 0.0:
+                    continue
+                scores[index] = dot / (left_norm * right_norm)
+            column[left_ids] = 0.0
+        return scores
+
+    @staticmethod
+    def _grouped(
+        profile_pairs: Sequence[Tuple[Profile, Profile]]
+    ) -> Dict[Profile, List[Tuple[int, Profile]]]:
+        """Group pair indices by left profile so its column scatters once."""
+        groups: Dict[Profile, List[Tuple[int, Profile]]] = {}
+        for index, (first, second) in enumerate(profile_pairs):
+            groups.setdefault(first, []).append((index, second))
+        return groups

@@ -16,6 +16,7 @@ progressive budget.  Three matcher families are provided:
 from __future__ import annotations
 
 import abc
+import warnings
 from dataclasses import dataclass
 from typing import Callable, Dict, Iterable, List, Mapping, Optional, Sequence, Tuple, Union
 
@@ -41,6 +42,48 @@ class MatchDecision:
         return self.comparison.pair
 
 
+class DecisionList(List[MatchDecision]):
+    """A list of match decisions plus batch-execution bookkeeping.
+
+    Behaves exactly like a plain list of :class:`MatchDecision`; additionally
+    carries how many comparisons were *skipped* because one of their
+    identifiers could not be resolved against the input data (a symptom of
+    blocking output and matching input drifting out of sync).
+    """
+
+    __slots__ = ("skipped", "skipped_examples")
+
+    def __init__(self, decisions: Iterable[MatchDecision] = ()) -> None:
+        super().__init__(decisions)
+        #: number of comparisons dropped due to unresolvable identifiers
+        self.skipped: int = 0
+        #: up to the first five skipped identifier pairs, for diagnostics
+        self.skipped_examples: List[Tuple[str, str]] = []
+
+    def record_skip(self, pair: Tuple[str, str]) -> None:
+        """Count one skipped comparison, keeping the first few as examples."""
+        self.skipped += 1
+        if len(self.skipped_examples) < 5:
+            self.skipped_examples.append(pair)
+
+    def warn_if_skipped(self) -> None:
+        """Emit the shared unresolvable-identifier warning when skips occurred."""
+        if self.skipped:
+            _warn_skipped_comparisons(self.skipped, self.skipped_examples)
+
+
+def _warn_skipped_comparisons(skipped: int, examples: Sequence[Tuple[str, str]]) -> None:
+    """Emit the shared unresolvable-identifier warning of ``decide_all``."""
+    sample = ", ".join(f"{first!r}-{second!r}" for first, second in examples[:3])
+    warnings.warn(
+        f"decide_all skipped {skipped} comparison(s) whose identifiers could not "
+        f"be resolved against the input data (e.g. {sample}); the candidate "
+        "comparisons and the entity collection appear to be out of sync",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 class Matcher(abc.ABC):
     """Interface of a pairwise matcher."""
 
@@ -63,13 +106,20 @@ class Matcher(abc.ABC):
         self,
         comparisons: Iterable[Comparison],
         data: Union[EntityCollection, CleanCleanTask],
-    ) -> List[MatchDecision]:
-        """Decide a batch of comparisons, resolving identifiers against ``data``."""
-        decisions = []
+    ) -> DecisionList:
+        """Decide a batch of comparisons, resolving identifiers against ``data``.
+
+        Comparisons whose identifiers cannot be resolved are not decided, but
+        they are no longer dropped invisibly: the returned
+        :class:`DecisionList` counts them (:attr:`DecisionList.skipped`) and a
+        :class:`RuntimeWarning` summarises the first few offending pairs.
+        """
+        decisions = DecisionList()
         for comparison in comparisons:
             first = data.get(comparison.first)
             second = data.get(comparison.second)
             if first is None or second is None:
+                decisions.record_skip(comparison.pair)
                 continue
             decision = self.decide(first, second)
             decisions.append(
@@ -80,6 +130,7 @@ class Matcher(abc.ABC):
                     cost=decision.cost,
                 )
             )
+        decisions.warn_if_skipped()
         return decisions
 
 
@@ -186,11 +237,22 @@ class AttributeWeightedMatcher(Matcher):
         self._is_set_similarity = similarity_name in ("jaccard", "dice", "overlap", "cosine")
         self.threshold = threshold
         self.cost = cost
+        # raw value -> normalised form (token list or lowercased string).
+        # Attribute values repeat heavily across the candidate pairs of one
+        # run (each description is compared K times), so memoising the
+        # per-value normalisation removes the dominant re-tokenisation cost.
+        # The cache lives as long as the matcher; bounded by distinct values.
+        self._value_cache: Dict[str, object] = {}
+
+    def _normalised(self, value: str) -> object:
+        cached = self._value_cache.get(value)
+        if cached is None:
+            cached = tokenize(value) if self._is_set_similarity else value.lower()
+            self._value_cache[value] = cached
+        return cached
 
     def _attribute_similarity(self, value_a: str, value_b: str) -> float:
-        if self._is_set_similarity:
-            return self._similarity(tokenize(value_a), tokenize(value_b))
-        return self._similarity(value_a.lower(), value_b.lower())
+        return self._similarity(self._normalised(value_a), self._normalised(value_b))
 
     def similarity(self, first: EntityDescription, second: EntityDescription) -> float:
         weighted_sum = 0.0

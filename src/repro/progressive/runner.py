@@ -5,20 +5,37 @@ progressive benchmarks: it draws comparisons from a scheduler, resolves them
 with a matcher while a :class:`~repro.progressive.budget.Budget` lasts, feeds
 every decision back to the scheduler (the update phase), and records the
 progressive recall curve against the ground truth (when provided).
+
+Comparisons are executed through a
+:class:`~repro.matching.engine.MatchingEngine` (``engine="batch"`` by
+default), which caches each description's token profile in a columnar store
+so an entity compared *K* times is tokenised once.  When the scheduler does
+not adapt its order to match feedback (it leaves
+:meth:`~repro.progressive.schedulers.ProgressiveScheduler.feedback`
+un-overridden), the runner additionally *drains the scheduler in batches* and
+scores each batch in one vectorised pass; adaptive schedulers keep the
+draw-one/decide-one loop (their next draw may depend on the last decision)
+but still hit the profile cache.  Both execution shapes are bit-identical to
+the historical per-pair loop.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from itertools import islice
 from typing import List, Optional, Set, Tuple, Union
 
 from repro.datamodel.collection import CleanCleanTask, EntityCollection
 from repro.datamodel.ground_truth import GroundTruth
 from repro.datamodel.pairs import Comparison
 from repro.evaluation.curves import ProgressiveRecallCurve
-from repro.matching.matchers import MatchDecision, Matcher
+from repro.matching.engine import MatchingEngine
+from repro.matching.matchers import DecisionList, MatchDecision, Matcher
 from repro.progressive.budget import Budget
 from repro.progressive.schedulers import CandidateSource, ERInput, ProgressiveScheduler
+
+#: Comparisons drawn per scheduler drain when batch execution applies.
+DEFAULT_BATCH_SIZE = 512
 
 
 @dataclass
@@ -32,6 +49,9 @@ class ProgressiveResult:
     budget_spent: float = 0.0
     curve: Optional[ProgressiveRecallCurve] = None
     decisions: List[MatchDecision] = field(default_factory=list)
+    #: scheduled comparisons dropped because an identifier did not resolve
+    #: against the input data (also summarised by a RuntimeWarning)
+    skipped_comparisons: int = 0
 
     @property
     def recall(self) -> float:
@@ -56,6 +76,8 @@ def run_progressive(
     budget: Union[Budget, int, None] = None,
     ground_truth: Optional[GroundTruth] = None,
     keep_decisions: bool = False,
+    engine: Union[str, MatchingEngine] = "batch",
+    batch_size: int = DEFAULT_BATCH_SIZE,
 ) -> ProgressiveResult:
     """Run ``scheduler`` against ``matcher`` until the budget is exhausted.
 
@@ -77,6 +99,16 @@ def run_progressive(
     keep_decisions:
         Whether to retain every :class:`MatchDecision` in the result (memory
         heavy for large runs; benchmarks usually keep it off).
+    engine:
+        ``"batch"`` (default), ``"pairwise"`` or a ready-made
+        :class:`~repro.matching.engine.MatchingEngine` wrapping ``matcher``.
+        The engine only changes *how* comparisons are scored (cached columnar
+        profiles, vectorised passes), never the decisions; matchers the batch
+        engine cannot replicate fall back to per-pair execution automatically.
+    batch_size:
+        How many comparisons are drawn per scheduler drain when batch
+        execution applies.  Schedulers that adapt to feedback are always
+        drained one comparison at a time, whatever this value.
     """
     if budget is None:
         budget_obj = Budget(None)
@@ -84,6 +116,17 @@ def run_progressive(
         budget_obj = budget
     else:
         budget_obj = Budget(float(budget))
+
+    if isinstance(engine, MatchingEngine):
+        if engine.matcher is not matcher:
+            raise ValueError(
+                "the MatchingEngine passed as `engine` wraps a different matcher "
+                "than the `matcher` argument; decisions would silently come from "
+                "the engine's matcher"
+            )
+        executor = engine
+    else:
+        executor = MatchingEngine(matcher, engine=engine)
 
     curve = None
     if ground_truth is not None:
@@ -93,14 +136,10 @@ def run_progressive(
     result = ProgressiveResult(scheduler_name=scheduler.name, curve=curve)
     seen_matches: Set[Tuple[str, str]] = set()
 
-    for comparison in scheduler.schedule(data, candidates):
-        first = data.get(comparison.first)
-        second = data.get(comparison.second)
-        if first is None or second is None:
-            continue
-        decision = matcher.decide(first, second)
+    def process(comparison: Comparison, decision: MatchDecision) -> bool:
+        """Charge, record and feed back one decision; False when budget is out."""
         if not budget_obj.charge(decision.cost):
-            break
+            return False
         result.comparisons_executed += 1
         scheduler.feedback(decision)
         if keep_decisions:
@@ -118,6 +157,57 @@ def run_progressive(
                     result.true_matches_found += 1
         if curve is not None:
             curve.record(comparison, is_match=is_true_match)
+        return True
 
+    # same accounting as Matcher.decide_all: unresolvable comparisons are
+    # counted and surfaced, whichever execution path drops them
+    skips = DecisionList()
+
+    # batch drains are only sound when the scheduler ignores feedback: an
+    # adaptive scheduler's next draw may depend on the previous decision
+    scheduled = scheduler.schedule(data, candidates)
+    adaptive = type(scheduler).feedback is not ProgressiveScheduler.feedback
+    if executor.batch_applicable and not adaptive and batch_size > 1:
+        # the batch path only runs for a fixed-cost ProfileSimilarityMatcher,
+        # so a draw never needs to exceed what the remaining budget can charge
+        cost = matcher.cost
+        while True:
+            draw = batch_size
+            if budget_obj.total is not None and cost > 0:
+                remaining = budget_obj.remaining
+                if remaining < cost:
+                    break
+                draw = min(batch_size, int(remaining / cost) + 1)
+            chunk = list(islice(scheduled, draw))
+            if not chunk:
+                break
+            resolved = []
+            for comparison in chunk:
+                first = data.get(comparison.first)
+                second = data.get(comparison.second)
+                if first is None or second is None:
+                    skips.record_skip(comparison.pair)
+                    continue
+                resolved.append((comparison, first, second))
+            decisions = executor.decide_pairs([(f, s) for _, f, s in resolved])
+            exhausted = False
+            for (comparison, _, _), decision in zip(resolved, decisions):
+                if not process(comparison, decision):
+                    exhausted = True
+                    break
+            if exhausted:
+                break
+    else:
+        for comparison in scheduled:
+            first = data.get(comparison.first)
+            second = data.get(comparison.second)
+            if first is None or second is None:
+                skips.record_skip(comparison.pair)
+                continue
+            if not process(comparison, executor.decide(first, second)):
+                break
+
+    result.skipped_comparisons = skips.skipped
+    skips.warn_if_skipped()
     result.budget_spent = budget_obj.spent
     return result

@@ -11,6 +11,9 @@ centralises:
   Monge--Elkan).
 * :mod:`repro.text.vectorizer` -- TF-IDF weighting and weighted cosine
   similarity over token vectors.
+* :mod:`repro.text.profile_store` -- columnar per-description token profiles
+  (interned token ids, TF-IDF weight columns, precomputed norms) backing the
+  batched matching engine.
 """
 
 from repro.text.similarity import (
@@ -30,15 +33,20 @@ from repro.text.tokenize import (
     token_set,
     tokenize,
 )
-from repro.text.vectorizer import TfIdfVectorizer, weighted_cosine
+from repro.text.profile_store import Profile, ProfileStore
+from repro.text.vectorizer import SparseVector, TfIdfVectorizer, l2_norm, weighted_cosine
 
 __all__ = [
+    "Profile",
+    "ProfileStore",
+    "SparseVector",
     "TfIdfVectorizer",
     "cosine_similarity",
     "dice_similarity",
     "jaccard_similarity",
     "jaro_similarity",
     "jaro_winkler_similarity",
+    "l2_norm",
     "levenshtein_distance",
     "levenshtein_similarity",
     "monge_elkan_similarity",

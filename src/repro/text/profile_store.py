@@ -1,0 +1,267 @@
+"""Columnar profile store: interned tokens and cached per-entity arrays.
+
+The pairwise matchers re-derive the token profile of a description on every
+comparison: :class:`~repro.matching.matchers.ProfileSimilarityMatcher` calls
+``token_set`` twice per pair and the TF-IDF path re-tokenises and re-weights
+both descriptions through ``TfIdfVectorizer.transform``.  A description that
+appears in *K* candidate pairs therefore pays its tokenisation and
+normalisation cost *K* times, which dominates the matching phase once
+meta-blocking has made candidate generation cheap.
+
+:class:`ProfileStore` amortises that cost to once per description.  Tokens are
+interned to dense integer ids shared across the whole collection, and for
+every description the store caches a :class:`Profile`:
+
+* the **sorted token-id array** (``array('q')``) plus the id *set*, which turn
+  every set similarity (Jaccard, Dice, overlap, cosine) into integer
+  intersection counting;
+* in TF-IDF mode, the **aligned weight array** with the same term-frequency
+  scaling and smoothed IDF as ``TfIdfVectorizer.transform``, plus the
+  **L2 norm** of the vector, precomputed once with :func:`math.fsum` (whose
+  exactly rounded result is independent of accumulation order, so the cached
+  norm is bit-identical to the one the pairwise oracle derives from its
+  ``dict`` vector).
+
+Profiles are computed lazily (a description that never reaches the matcher
+never pays) and cached by identifier.  The cache remembers which description
+*object* produced each profile: when a different object arrives under the same
+identifier -- e.g. after a merge replaced the description -- the stale entry is
+recomputed automatically, and :meth:`ProfileStore.invalidate` drops a single
+entry explicitly without touching the rest of the store.
+
+When NumPy is importable, :attr:`Profile.np_ids` / :attr:`Profile.np_weights`
+expose the same columns as zero-copy ``int64`` / ``float64`` views for the
+vectorised scoring passes of :class:`~repro.matching.engine.MatchingEngine`.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from repro.datamodel.description import EntityDescription
+from repro.text.tokenize import token_set
+from repro.text.vectorizer import SparseVector, TfIdfVectorizer
+
+try:  # pragma: no cover - exercised implicitly when numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+class Profile:
+    """The cached columnar view of one description's token profile.
+
+    Attributes
+    ----------
+    identifier:
+        Identifier of the profiled description.
+    token_ids:
+        Sorted ``array('q')`` of interned token ids (distinct tokens).
+    weights:
+        TF-IDF weight ``array('d')`` aligned with ``token_ids``; ``None`` in
+        set mode.
+    norm:
+        Precomputed L2 norm of ``weights`` (``0.0`` in set mode), computed
+        with :func:`math.fsum` so it is bit-identical to the norm of the
+        equivalent ``dict`` vector regardless of token order.
+
+    The derived views (:attr:`id_set`, :attr:`weight_map`, :attr:`np_ids`,
+    :attr:`np_weights`) are built lazily and cached: only the scoring path
+    that actually runs pays for its view, so e.g. the default NumPy TF-IDF
+    pass never materialises the per-profile hash tables of the pure-Python
+    paths.
+    """
+
+    __slots__ = (
+        "identifier",
+        "token_ids",
+        "weights",
+        "norm",
+        "_id_set",
+        "_weight_map",
+        "_np_ids",
+        "_np_weights",
+    )
+
+    def __init__(
+        self,
+        identifier: str,
+        token_ids: array,
+        weights: Optional[array] = None,
+        norm: float = 0.0,
+    ) -> None:
+        self.identifier = identifier
+        self.token_ids = token_ids
+        self.weights = weights
+        self.norm = norm
+        self._id_set = None
+        self._weight_map = None
+        self._np_ids = None
+        self._np_weights = None
+
+    def __len__(self) -> int:
+        return len(self.token_ids)
+
+    @property
+    def id_set(self) -> frozenset:
+        """The token ids as a ``frozenset`` for C-speed set intersection."""
+        if self._id_set is None:
+            self._id_set = frozenset(self.token_ids)
+        return self._id_set
+
+    @property
+    def weight_map(self) -> Optional[SparseVector]:
+        """Token id -> weight as a SparseVector carrying the precomputed
+        norm, so the pure-Python cosine pass can feed it straight into
+        :func:`repro.text.vectorizer.weighted_cosine`; ``None`` in set mode."""
+        if self._weight_map is None and self.weights is not None:
+            self._weight_map = SparseVector(
+                zip(self.token_ids, self.weights), norm=self.norm
+            )
+        return self._weight_map
+
+    @property
+    def np_ids(self):
+        """Zero-copy ``int64`` view of :attr:`token_ids` (NumPy only)."""
+        if self._np_ids is None:
+            if len(self.token_ids) == 0:
+                self._np_ids = _np.zeros(0, dtype=_np.int64)
+            else:
+                self._np_ids = _np.frombuffer(self.token_ids, dtype=_np.int64)
+        return self._np_ids
+
+    @property
+    def np_weights(self):
+        """Zero-copy ``float64`` view of :attr:`weights` (NumPy only)."""
+        if self._np_weights is None:
+            if self.weights is None or len(self.weights) == 0:
+                self._np_weights = _np.zeros(0, dtype=_np.float64)
+            else:
+                self._np_weights = _np.frombuffer(self.weights, dtype=_np.float64)
+        return self._np_weights
+
+
+class ProfileStore:
+    """Interns tokens once per collection and caches per-description columns.
+
+    A store instance mirrors the configuration of exactly one matcher:
+
+    * **set mode** (``vectorizer=None``) -- profiles are the distinct tokens of
+      ``token_set(description.values(), stop_words, min_length)``, matching
+      :class:`~repro.matching.matchers.ProfileSimilarityMatcher`'s
+      un-vectorised path;
+    * **TF-IDF mode** (``vectorizer`` given) -- profiles additionally carry
+      the weight column and norm of ``vectorizer.transform(description)``,
+      taken directly from the transform output, so the columns hold
+      bit-identical floats by construction.
+
+    Parameters
+    ----------
+    stop_words / min_token_length:
+        Set-mode tokenisation options (ignored in TF-IDF mode, exactly as the
+        pairwise matcher ignores them when a vectoriser is present).
+    vectorizer:
+        Optional fitted :class:`~repro.text.vectorizer.TfIdfVectorizer`.
+    """
+
+    def __init__(
+        self,
+        stop_words: Optional[Iterable[str]] = None,
+        min_token_length: int = 1,
+        vectorizer: Optional[TfIdfVectorizer] = None,
+    ) -> None:
+        self.stop_words = frozenset(stop_words) if stop_words else frozenset()
+        self.min_token_length = min_token_length
+        self.vectorizer = vectorizer
+        self._token_ids: Dict[str, int] = {}
+        self._tokens: List[str] = []
+        #: identifier -> (source description, profile); the source reference
+        #: detects stale entries when a new object reuses an identifier
+        self._profiles: Dict[str, Tuple[EntityDescription, Profile]] = {}
+        self.hits = 0
+        self.misses = 0
+
+    # ------------------------------------------------------------------
+    # token interning
+    # ------------------------------------------------------------------
+    def intern(self, token: str) -> int:
+        """Return the dense integer id of ``token``, assigning one if new."""
+        token_id = self._token_ids.get(token)
+        if token_id is None:
+            token_id = len(self._tokens)
+            self._token_ids[token] = token_id
+            self._tokens.append(token)
+        return token_id
+
+    def token(self, token_id: int) -> str:
+        """Inverse of :meth:`intern`."""
+        return self._tokens[token_id]
+
+    @property
+    def vocabulary_size(self) -> int:
+        return len(self._tokens)
+
+    @property
+    def mode(self) -> str:
+        return "tfidf" if self.vectorizer is not None else "set"
+
+    def __len__(self) -> int:
+        return len(self._profiles)
+
+    # ------------------------------------------------------------------
+    # profiles
+    # ------------------------------------------------------------------
+    def profile(self, description: EntityDescription) -> Profile:
+        """The cached :class:`Profile` of ``description`` (built on first use).
+
+        The cache is keyed by identifier but verified against the description
+        object: a *different* object under a known identifier (a merged or
+        otherwise replaced description) transparently recomputes the entry, so
+        callers never observe a stale profile.
+        """
+        entry = self._profiles.get(description.identifier)
+        if entry is not None and entry[0] is description:
+            self.hits += 1
+            return entry[1]
+        self.misses += 1
+        profile = self._build(description)
+        self._profiles[description.identifier] = (description, profile)
+        return profile
+
+    def invalidate(self, identifier: str) -> bool:
+        """Drop the cached profile of ``identifier``; other entries are kept.
+
+        Returns whether an entry existed.  Used by the update/iterate phase:
+        merging a description only invalidates that entity's store entry.
+        """
+        return self._profiles.pop(identifier, None) is not None
+
+    def clear(self) -> None:
+        """Drop every cached profile (the interned vocabulary is kept)."""
+        self._profiles.clear()
+
+    # ------------------------------------------------------------------
+    def _build(self, description: EntityDescription) -> Profile:
+        if self.vectorizer is None:
+            tokens = token_set(
+                description.values(),
+                stop_words=self.stop_words,
+                min_length=self.min_token_length,
+            )
+            ids = array("q", sorted(self.intern(token) for token in tokens))
+            return Profile(description.identifier, ids)
+
+        # TF-IDF mode: the columns are the vectorizer's own transform output
+        # re-keyed to interned ids, so they are bit-identical to the pairwise
+        # oracle's vectors by construction -- including the SparseVector's
+        # fsum-precomputed norm
+        vector = self.vectorizer.transform(description)
+        if not vector:
+            return Profile(description.identifier, array("q"))
+        weighted: List[Tuple[int, float]] = sorted(
+            (self.intern(token), weight) for token, weight in vector.items()
+        )
+        ids = array("q", (token_id for token_id, _ in weighted))
+        weights = array("d", (weight for _, weight in weighted))
+        return Profile(description.identifier, ids, weights, vector.norm)

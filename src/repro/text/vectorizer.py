@@ -17,22 +17,95 @@ from repro.datamodel.description import EntityDescription
 from repro.text.tokenize import tokenize
 
 
+def l2_norm(vector: Mapping[str, float]) -> float:
+    """L2 norm of a sparse weight vector, exactly rounded via :func:`math.fsum`.
+
+    ``fsum`` makes the result independent of the accumulation order, so the
+    norm of a vector is the same float whether it is derived from a ``dict``
+    (insertion order) or from a sorted columnar array (see
+    :mod:`repro.text.profile_store`).
+    """
+    return math.sqrt(math.fsum(w * w for w in vector.values()))
+
+
+class SparseVector(Dict[str, float]):
+    """A sparse ``token -> weight`` vector carrying its L2 norm.
+
+    :meth:`TfIdfVectorizer.transform` returns these so that
+    :func:`weighted_cosine` never recomputes ``sqrt(sum(w * w))`` for a vector
+    that is compared many times.  The norm is computed lazily on first access
+    and **invalidated by every mutating dict operation**, so a caller that
+    edits the vector after ``transform`` still gets correct similarities.
+    The class is a plain ``dict`` otherwise and remains interchangeable with
+    one.
+    """
+
+    __slots__ = ("_norm",)
+
+    def __init__(self, weights=(), norm: Optional[float] = None) -> None:
+        super().__init__(weights)
+        self._norm = norm
+
+    @property
+    def norm(self) -> float:
+        """The L2 norm of the current weights (cached until a mutation)."""
+        if self._norm is None:
+            self._norm = l2_norm(self)
+        return self._norm
+
+    def __setitem__(self, key, value) -> None:
+        self._norm = None
+        super().__setitem__(key, value)
+
+    def __delitem__(self, key) -> None:
+        self._norm = None
+        super().__delitem__(key)
+
+    def pop(self, *args):
+        self._norm = None
+        return super().pop(*args)
+
+    def popitem(self):
+        self._norm = None
+        return super().popitem()
+
+    def clear(self) -> None:
+        self._norm = None
+        super().clear()
+
+    def update(self, *args, **kwargs) -> None:
+        self._norm = None
+        super().update(*args, **kwargs)
+
+    def setdefault(self, key, default=None):
+        self._norm = None
+        return super().setdefault(key, default)
+
+
 def weighted_cosine(first: Mapping[str, float], second: Mapping[str, float]) -> float:
-    """Cosine similarity of two sparse weight vectors (dicts token -> weight)."""
+    """Cosine similarity of two sparse weight vectors (dicts token -> weight).
+
+    Norms precomputed by :class:`SparseVector` are reused; plain dicts fall
+    back to computing them on the fly.  The dot product goes through
+    :func:`math.fsum`, so the result does not depend on which operand's tokens
+    are iterated first -- the property that lets the batched matching engine
+    reproduce this function bit for bit from columnar profiles.
+    """
     if not first or not second:
         return 0.0
     # iterate over the smaller vector
     if len(second) < len(first):
         first, second = second, first
-    dot = 0.0
-    for token, weight in first.items():
-        other = second.get(token)
-        if other is not None:
-            dot += weight * other
+    products = [
+        weight * other
+        for token, weight in first.items()
+        if (other := second.get(token)) is not None
+    ]
+    dot = math.fsum(products)
     if dot == 0.0:
         return 0.0
-    norm_a = math.sqrt(sum(w * w for w in first.values()))
-    norm_b = math.sqrt(sum(w * w for w in second.values()))
+    norm_a = first.norm if isinstance(first, SparseVector) else l2_norm(first)
+    norm_b = second.norm if isinstance(second, SparseVector) else l2_norm(second)
     if norm_a == 0.0 or norm_b == 0.0:
         return 0.0
     return dot / (norm_a * norm_b)
@@ -94,8 +167,12 @@ class TfIdfVectorizer:
         self,
         description: EntityDescription,
         attributes: Optional[Sequence[str]] = None,
-    ) -> Dict[str, float]:
-        """Return the sparse TF-IDF vector of one description."""
+    ) -> "SparseVector":
+        """Return the sparse TF-IDF vector of one description.
+
+        The returned :class:`SparseVector` carries its L2 norm, precomputed at
+        build time so similarity computations can reuse it.
+        """
         counts: Dict[str, int] = {}
         values = (
             description.values()
@@ -106,12 +183,12 @@ class TfIdfVectorizer:
             for token in tokenize(value, min_length=self.min_token_length):
                 counts[token] = counts.get(token, 0) + 1
         if not counts:
-            return {}
+            return SparseVector()
         max_count = max(counts.values())
-        return {
-            token: (0.5 + 0.5 * count / max_count) * self.idf(token)
+        return SparseVector(
+            (token, (0.5 + 0.5 * count / max_count) * self.idf(token))
             for token, count in counts.items()
-        }
+        )
 
     def similarity(
         self,

@@ -99,3 +99,16 @@ def test_unsupported_format_is_rejected(tmp_path):
     bogus.write_text("<xml/>")
     with pytest.raises(SystemExit):
         main(["resolve", str(bogus)])
+
+
+def test_matching_engine_flag(tmp_path, capsys):
+    data = tmp_path / "dirty.csv"
+    main(["generate", "--entities", "30", "--seed", "7", "--output", str(data)])
+    for engine in ("batch", "pairwise"):
+        assert main(["resolve", str(data), "--matching-engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert f"engine={engine}" in out  # config.describe() names the engine
+        assert f"@{engine}" in out  # the report stage names the executing engine
+    assert build_parser().parse_args(["resolve", "x.csv"]).matching_engine == "batch"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["resolve", "x.csv", "--matching-engine", "bogus"])

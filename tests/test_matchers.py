@@ -55,9 +55,20 @@ class TestProfileSimilarityMatcher:
     def test_decide_all_resolves_identifiers(self, tiny_collection):
         matcher = ProfileSimilarityMatcher(threshold=0.3)
         comparisons = [Comparison("a1", "a2"), Comparison("a1", "missing")]
-        decisions = matcher.decide_all(comparisons, tiny_collection)
+        with pytest.warns(RuntimeWarning, match="skipped 1 comparison"):
+            decisions = matcher.decide_all(comparisons, tiny_collection)
         assert len(decisions) == 1  # the pair with a missing description is skipped
         assert decisions[0].comparison.pair == ("a1", "a2")
+        # ... but the skip is counted and surfaced, not silent
+        assert decisions.skipped == 1
+        assert decisions.skipped_examples == [("a1", "missing")]
+
+    def test_decide_all_without_skips_is_quiet(self, tiny_collection, recwarn):
+        matcher = ProfileSimilarityMatcher(threshold=0.3)
+        decisions = matcher.decide_all([Comparison("a1", "a2")], tiny_collection)
+        assert decisions.skipped == 0
+        assert decisions.skipped_examples == []
+        assert not [w for w in recwarn.list if issubclass(w.category, RuntimeWarning)]
 
 
 class TestAttributeWeightedMatcher:
@@ -161,3 +172,28 @@ class TestOracleMatcher:
         oracle.match(alan_a(), alan_b())
         oracle.reset()
         assert oracle.calls == 0
+
+
+class TestAttributeValueCache:
+    def test_repeated_values_are_normalised_once(self):
+        matcher = AttributeWeightedMatcher({"name": 1.0}, similarity_name="jaccard", threshold=0.5)
+        first = EntityDescription("x", {"name": "Alan Turing"})
+        second = EntityDescription("y", {"name": "Alan Turing"})
+        score = matcher.similarity(first, second)
+        assert score == pytest.approx(1.0)
+        # both sides share one raw value, so the cache holds a single entry...
+        assert set(matcher._value_cache) == {"Alan Turing"}
+        cached = matcher._value_cache["Alan Turing"]
+        matcher.similarity(first, second)
+        # ...and re-scoring reuses the very same normalised object
+        assert matcher._value_cache["Alan Turing"] is cached
+
+    def test_cache_does_not_change_scores(self):
+        for name in ("jaccard", "jaro_winkler"):
+            matcher = AttributeWeightedMatcher({"name": 1.0}, similarity_name=name)
+            fresh = AttributeWeightedMatcher({"name": 1.0}, similarity_name=name)
+            a = EntityDescription("x", {"name": "Alan M. Turing"})
+            b = EntityDescription("y", {"name": "alan turing"})
+            warmed = matcher.similarity(a, b)
+            assert matcher.similarity(a, b) == warmed  # cache hit path
+            assert fresh.similarity(a, b) == warmed  # cold path agrees

@@ -60,3 +60,51 @@ def test_similarity_favours_shared_rare_tokens():
 def test_unfitted_vectorizer_idf_is_zero():
     vectorizer = TfIdfVectorizer()
     assert vectorizer.idf("anything") == 0.0
+
+
+def test_transform_precomputes_the_l2_norm():
+    import math
+
+    from repro.text.vectorizer import SparseVector, l2_norm
+
+    vectorizer = TfIdfVectorizer().fit(make_corpus())
+    vector = vectorizer.transform(make_corpus()[0])
+    assert isinstance(vector, SparseVector)
+    assert vector.norm == l2_norm(vector)
+    assert vector.norm == math.sqrt(math.fsum(w * w for w in vector.values()))
+    assert vectorizer.transform(EntityDescription("empty")).norm == 0.0
+
+
+def test_weighted_cosine_reuses_precomputed_norms():
+    from repro.text.vectorizer import SparseVector
+
+    first = SparseVector({"a": 1.0, "b": 1.0})
+    second = SparseVector({"a": 1.0})
+    baseline = weighted_cosine(first, second)
+    assert baseline == pytest.approx(1 / 2**0.5)
+    # tampering with the carried norm changes the result: proof the
+    # precomputed norm is what the function uses (no silent recomputation)
+    tampered = SparseVector({"a": 1.0, "b": 1.0}, norm=2 * first.norm)
+    assert weighted_cosine(tampered, second) == pytest.approx(baseline / 2)
+
+
+def test_weighted_cosine_accepts_plain_dicts():
+    from repro.text.vectorizer import SparseVector
+
+    assert weighted_cosine({"a": 2.0}, SparseVector({"a": 0.5})) == pytest.approx(1.0)
+
+
+def test_sparse_vector_norm_invalidated_on_mutation():
+    from repro.text.vectorizer import SparseVector, l2_norm
+
+    vector = SparseVector({"a": 3.0, "b": 4.0})
+    assert vector.norm == 5.0
+    vector.pop("b")
+    assert vector.norm == 3.0  # recomputed, not stale
+    vector["c"] = 4.0
+    assert vector.norm == 5.0
+    vector.update({"d": 12.0})
+    assert vector.norm == l2_norm(vector) == 13.0
+    del vector["d"]
+    vector.clear()
+    assert vector.norm == 0.0
