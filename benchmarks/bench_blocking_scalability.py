@@ -6,20 +6,41 @@ blocks takes time that grows near-linearly with the number of descriptions
 quadratically; across all sizes the cleaned token blocks keep pair
 completeness close to 1.0 while discarding a stable, large fraction (the
 reduction ratio) of the exhaustive comparisons.
+
+E2b compares the two blocking engines (legacy oracle vs array-backed index)
+on the full build -> purge -> filter -> propagate pipeline.
 """
 
 from __future__ import annotations
 
+import hashlib
+import multiprocessing
+import os
+import sys
 import time
+import tracemalloc
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no resource module
+    resource = None
 
 import pytest
 
 from benchmarks.conftest import save_table
-from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
+from repro.blocking import BlockFiltering, BlockPurging, BlockingEngine, TokenBlocking
 from repro.datasets import DatasetConfig, generate_dirty_dataset
 from repro.evaluation import evaluate_blocks
 
 SIZES = (125, 250, 500, 1000)
+
+#: Input sizes of the engine comparison (number of generated entities).  The
+#: quick mode (``REPRO_BENCH_QUICK=1``, used by the CI smoke job) only runs
+#: the small 500-entity input and only asserts that the index engine is not
+#: slower; the full run scales to 2000 entities, where the index engine must
+#: be at least 3x faster.
+ENGINE_COMPARISON_SIZES = (500, 1000, 2000)
+ENGINE_QUICK_SIZE = 500
 
 
 def test_blocking_scalability(benchmark):
@@ -77,3 +98,159 @@ def test_blocking_scalability(benchmark):
     assert time_growth < description_growth**1.7
     assert all(row["PC"] > 0.9 for row in rows)
     assert all(row["RR"] > 0.75 for row in rows)
+
+
+# ----------------------------------------------------------------------
+# E2b -- engine comparison: legacy oracle vs array-backed index engine
+# ----------------------------------------------------------------------
+
+def _collection_for(num_entities: int):
+    return generate_dirty_dataset(
+        DatasetConfig(
+            num_entities=num_entities,
+            duplicates_per_entity=1.2,
+            domain="person",
+            seed=101,
+        )
+    ).collection
+
+
+def _pipeline(engine: str, collection):
+    """The full blocking phase: build, purge, filter, propagate."""
+    blocking = BlockingEngine(TokenBlocking(), engine=engine)
+    return blocking.run(
+        collection,
+        purging=BlockPurging(),
+        filtering=BlockFiltering(0.8),
+        propagate=True,
+    )
+
+
+def _digest(blocks):
+    """Compact block-for-block fingerprint (avoids piping blocks to the parent)."""
+    digest = hashlib.sha256()
+    for block in blocks:
+        if block.is_bilateral:
+            digest.update(repr((block.key, block.left_members, block.right_members)).encode())
+        else:
+            digest.update(repr((block.key, block.members)).encode())
+    return len(blocks), blocks.total_comparisons(), digest.hexdigest()
+
+
+def _peak_rss_bytes():
+    if resource is None:  # e.g. Windows
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux but bytes on macOS
+    return maxrss if sys.platform == "darwin" else maxrss * 1024
+
+
+def _measure_engine(engine: str, collection):
+    """Three timed runs (best-of, to ride out scheduler noise) + one
+    memory-traced run in the current process.
+
+    Returns ``(seconds, tracemalloc peak bytes, peak RSS bytes | None,
+    block digest)``.
+    """
+    result = _pipeline(engine, collection)  # warm-up, also the digest source
+    seconds = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        _pipeline(engine, collection)
+        seconds = min(seconds, time.perf_counter() - start)
+    tracemalloc.start()
+    _pipeline(engine, collection)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    return seconds, peak, _peak_rss_bytes(), _digest(result)
+
+
+def _measure_engine_in_child(engine: str, collection, conn) -> None:
+    try:
+        conn.send(_measure_engine(engine, collection))
+    finally:
+        conn.close()
+
+
+def _run_engine(engine: str, collection):
+    """Measure ``engine`` in a forked child so its peak RSS is its own.
+
+    RSS is a process-wide high-water mark, so measuring both engines in one
+    process would make the second row inherit the first's peak.  Where
+    ``fork`` is unavailable the measurement runs in-process and RSS is
+    reported as ``None`` (the tracemalloc peak stays accurate either way).
+    """
+    if not hasattr(os, "fork"):
+        return _measure_engine(engine, collection)
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    child = ctx.Process(target=_measure_engine_in_child, args=(engine, collection, child_conn))
+    child.start()
+    child_conn.close()
+    try:
+        result = parent_conn.recv()
+    except EOFError:  # child died before sending (e.g. MemoryError)
+        result = None
+    finally:
+        parent_conn.close()
+        child.join()
+    if result is None or child.exitcode != 0:
+        raise RuntimeError(f"engine measurement subprocess failed for {engine!r}")
+    return result
+
+
+def test_engine_old_vs_new(benchmark):
+    """Old (oracle) vs new (index) engine: wall time, peak allocation, peak RSS.
+
+    Both engines must produce block-for-block identical output.  The full
+    run requires the index engine to be at least 3x faster on the largest
+    input; the quick mode (``REPRO_BENCH_QUICK=1``) only requires it to be
+    no slower on the small input.
+    """
+    quick = os.environ.get("REPRO_BENCH_QUICK") == "1"
+    sizes = (ENGINE_QUICK_SIZE,) if quick else ENGINE_COMPARISON_SIZES
+
+    rows = []
+    speedups = {}
+    for num_entities in sizes:
+        collection = _collection_for(num_entities)
+        results = {}
+        for engine in ("oracle", "index"):
+            seconds, peak, rss, digest = _run_engine(engine, collection)
+            results[engine] = (seconds, digest)
+            rows.append(
+                {
+                    "entities": num_entities,
+                    "engine": engine,
+                    "blocks": digest[0],
+                    "comparisons": digest[1],
+                    "seconds": round(seconds, 3),
+                    "peak alloc MB": round(peak / 1e6, 1),
+                    "peak RSS MB": round(rss / 1e6, 1) if rss is not None else "n/a",
+                }
+            )
+        # block-for-block identity of the full cleaned output
+        assert results["oracle"][1] == results["index"][1], num_entities
+        speedups[num_entities] = results["oracle"][0] / max(1e-9, results["index"][0])
+
+    largest = sizes[-1]
+    save_table(
+        "E2b_blocking_engine_comparison",
+        rows,
+        "blocking engines on the build+purge+filter+propagate pipeline (token blocking)",
+        notes=(
+            "Block-for-block identical output; the index engine interns tokens once, streams "
+            "the cleaning passes over CSR arrays and deduplicates propagated pairs as "
+            "integers. Speedups: "
+            + ", ".join(f"{n} entities: {s:.2f}x" for n, s in speedups.items())
+        ),
+    )
+    benchmark.extra_info["speedups"] = {str(n): round(s, 2) for n, s in speedups.items()}
+    # the timed metric measures the engine pipeline alone, not dataset generation
+    timed_collection = _collection_for(sizes[0])
+    benchmark.pedantic(lambda: _pipeline("index", timed_collection), rounds=1, iterations=1)
+
+    # the index engine must never be slower; at scale it must win clearly
+    assert all(speedup >= 1.0 for speedup in speedups.values()), speedups
+    if not quick:
+        assert speedups[largest] >= 3.0, speedups

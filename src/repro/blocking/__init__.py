@@ -19,6 +19,36 @@ The package covers three families:
 * **Block cleaning** -- :class:`~repro.blocking.cleaning.BlockPurging`,
   :class:`~repro.blocking.cleaning.BlockFiltering`,
   :class:`~repro.blocking.cleaning.ComparisonPropagation`.
+
+Execution engines
+-----------------
+
+Building and cleaning run behind
+:class:`~repro.blocking.engine.BlockingEngine`, which follows the two-engine
+pattern of :mod:`repro.metablocking` and :mod:`repro.matching`:
+
+* ``engine="index"`` (the default) executes the token-based builders and the
+  three cleaners on flat integer arrays.  Tokens are interned once per
+  collection into dense ids by a
+  :class:`~repro.text.profile_store.ProfileStore`, the inverted key index
+  maps ``token id -> array('q') posting of description ordinals`` (postings
+  grow in description order, so emitting blocks in sorted-key order
+  reproduces the legacy builders block for block), and the cleaners stream
+  over a CSR entity index of the block collection: ``blk_ptr`` delimits each
+  block's assignment span, ``ent_of`` holds the description ordinal of every
+  assignment and ``card_of`` the containing block's cardinality.  Purging
+  selects blocks against the shared adaptive threshold in one cardinality
+  pass, filtering ranks all assignments with a single stable sort by
+  ``(entity, cardinality)`` (NumPy ``lexsort`` when available, a
+  bit-identical pure-Python sort otherwise), and comparison propagation
+  deduplicates pairs as single ``(min ordinal << 32) | max ordinal``
+  integers instead of canonical string tuples.
+* ``engine="oracle"`` runs the legacy per-``dict``/``set`` builders and
+  cleaners below, which stay the readable reference implementation, the
+  equivalence-suite oracle, and the automatic fallback for custom schemes.
+
+Both engines produce block-for-block identical collections; see
+:mod:`repro.blocking.engine` for the exact layout and guarantees.
 """
 
 from repro.blocking.base import Block, BlockBuilder, BlockCollection
@@ -27,8 +57,10 @@ from repro.blocking.cleaning import (
     BlockFiltering,
     BlockPurging,
     ComparisonPropagation,
+    adaptive_cardinality_threshold,
     clean_blocks,
 )
+from repro.blocking.engine import BLOCKING_ENGINES, BlockingEngine
 from repro.blocking.minhash import MinHashLSHBlocking, MinHashSignature
 from repro.blocking.multiblock import MultidimensionalBlocking
 from repro.blocking.similarity_join import SimilarityJoinBlocking
@@ -50,16 +82,19 @@ from repro.blocking.token_blocking import (
     AttributeClusteringBlocking,
     PrefixInfixSuffixBlocking,
     TokenBlocking,
+    cluster_attribute_profiles,
     cluster_attributes,
 )
 
 __all__ = [
     "AttributeClusteringBlocking",
+    "BLOCKING_ENGINES",
     "Block",
     "BlockBuilder",
     "BlockCollection",
     "BlockFiltering",
     "BlockPurging",
+    "BlockingEngine",
     "CanopyClusteringBlocking",
     "ComparisonPropagation",
     "ExtendedQGramsBlocking",
@@ -74,8 +109,10 @@ __all__ = [
     "StandardBlocking",
     "SuffixArrayBlocking",
     "TokenBlocking",
+    "adaptive_cardinality_threshold",
     "attribute_key",
     "clean_blocks",
+    "cluster_attribute_profiles",
     "cluster_attributes",
     "sorted_order",
     "soundex",

@@ -62,6 +62,38 @@ class Block:
         )
 
     # ------------------------------------------------------------------
+    @classmethod
+    def pair(cls, key: str, first: str, second: str) -> "Block":
+        """A two-member dirty-ER block, built without validation.
+
+        Trusted fast path for callers that materialise very many pair
+        blocks (comparison propagation, meta-blocking restructuring); the
+        two members must be distinct.  Equivalent to
+        ``Block(key, members=[first, second])``.
+        """
+        block = cls.__new__(cls)
+        block.key = key
+        block._members = (first, second)
+        block._left = ()
+        block._right = ()
+        return block
+
+    @classmethod
+    def bilateral_pair(cls, key: str, left: str, right: str) -> "Block":
+        """A one-by-one clean--clean block, built without validation.
+
+        Trusted fast path, equivalent to
+        ``Block(key, left_members=[left], right_members=[right])`` for two
+        distinct identifiers.
+        """
+        block = cls.__new__(cls)
+        block.key = key
+        block._members = ()
+        block._left = (left,)
+        block._right = (right,)
+        return block
+
+    # ------------------------------------------------------------------
     @property
     def is_bilateral(self) -> bool:
         """Whether the block separates members per collection (clean--clean ER)."""
@@ -148,6 +180,15 @@ class BlockCollection:
         """Add a block; blocks inducing no comparison are silently dropped."""
         if block.num_comparisons() > 0:
             self._blocks.append(block)
+
+    def _extend_trusted(self, blocks: Iterable[Block]) -> None:
+        """Extend with blocks known to induce at least one comparison each.
+
+        Internal fast path for the array-backed engines, which append very
+        many pair blocks; skips the per-block cardinality check of
+        :meth:`add`.
+        """
+        self._blocks.extend(blocks)
 
     def __len__(self) -> int:
         return len(self._blocks)

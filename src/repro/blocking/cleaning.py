@@ -19,9 +19,41 @@ applied between blocking and matching (and before meta-blocking):
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Optional, Set, Tuple
+from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.blocking.base import Block, BlockCollection
+
+
+def adaptive_cardinality_threshold(
+    cardinalities: Sequence[int], smoothing_factor: float
+) -> int:
+    """Purging threshold from an ascending list of block cardinalities.
+
+    This is the engine-independent core of
+    :meth:`BlockPurging._adaptive_threshold`; the array-backed blocking
+    engine calls it with cardinalities computed from its CSR arrays, so both
+    engines derive the identical bound by construction.  ``cardinalities``
+    must already be sorted ascending.
+    """
+    if not cardinalities:
+        return 0
+    distinct = sorted(set(cardinalities))
+    if len(distinct) < 2:
+        return distinct[-1]
+
+    median = cardinalities[len(cardinalities) // 2]
+    best_gap_ratio = 0.0
+    threshold = distinct[-1]
+    for lower, upper in zip(distinct, distinct[1:]):
+        if upper <= median or lower <= 0:
+            continue
+        gap_ratio = upper / lower
+        if gap_ratio > best_gap_ratio:
+            best_gap_ratio = gap_ratio
+            threshold = lower
+    if best_gap_ratio < smoothing_factor:
+        return distinct[-1]
+    return threshold
 
 
 class BlockPurging:
@@ -61,25 +93,7 @@ class BlockPurging:
         (i.e. block sizes grow smoothly) nothing is purged.
         """
         cardinalities = sorted(block.num_comparisons() for block in blocks)
-        if not cardinalities:
-            return 0
-        distinct = sorted(set(cardinalities))
-        if len(distinct) < 2:
-            return distinct[-1]
-
-        median = cardinalities[len(cardinalities) // 2]
-        best_gap_ratio = 0.0
-        threshold = distinct[-1]
-        for lower, upper in zip(distinct, distinct[1:]):
-            if upper <= median or lower <= 0:
-                continue
-            gap_ratio = upper / lower
-            if gap_ratio > best_gap_ratio:
-                best_gap_ratio = gap_ratio
-                threshold = lower
-        if best_gap_ratio < self.smoothing_factor:
-            return distinct[-1]
-        return threshold
+        return adaptive_cardinality_threshold(cardinalities, self.smoothing_factor)
 
     def process(self, blocks: BlockCollection) -> BlockCollection:
         if len(blocks) == 0:

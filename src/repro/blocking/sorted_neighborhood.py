@@ -9,7 +9,8 @@ the progressive sorted-list heuristics of Section IV, which re-use
 
 from __future__ import annotations
 
-from typing import Callable, Dict, List, Optional, Sequence, Tuple
+import itertools
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
 from repro.blocking.standard import KeyFunction, attribute_key
@@ -39,13 +40,17 @@ def sorted_order(
     """Return ``(key, identifier)`` pairs of all descriptions sorted by key.
 
     Ties are broken by identifier so the order is deterministic.  For
-    clean--clean tasks both collections are merged into a single sorted list,
-    as in the classical multi-source sorted neighbourhood.
+    clean--clean tasks the two collections are pooled explicitly -- left then
+    right -- into one list before sorting, as in the classical multi-source
+    sorted neighbourhood: the sort then interleaves the sources by key so a
+    window can span descriptions of both.  (An earlier revision pretended to
+    special-case :class:`CleanCleanTask` in a branch whose arms were
+    identical; the pooling is now explicit and tested.)
     """
     key_of = sorting_key or default_sorting_key
     entries: List[Tuple[str, str]] = []
     if isinstance(data, CleanCleanTask):
-        iterator = iter(data)
+        iterator: Iterator[EntityDescription] = itertools.chain(data.left, data.right)
     else:
         iterator = iter(data)
     for description in iterator:

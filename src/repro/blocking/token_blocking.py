@@ -14,7 +14,20 @@ comparisons token blocking suggests between semantically unrelated values.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+import itertools
+import math
+from typing import (
+    AbstractSet,
+    Dict,
+    FrozenSet,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+)
 
 from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
 from repro.datamodel.collection import CleanCleanTask
@@ -59,6 +72,25 @@ class TokenBlocking(BlockBuilder):
             min_length=self.min_token_length,
         )
 
+    def member_limit(self, total: int) -> Optional[int]:
+        """Largest member count a block may have under ``max_block_fraction``.
+
+        ``None`` when no bound is configured or the collection is empty.  The
+        bound is the floor of ``max_block_fraction * total`` computed with a
+        small tolerance so that binary-floating-point representation error
+        cannot shave off a description the exact product would admit (e.g.
+        ``0.3 * 10`` evaluates to ``2.999...96``, whose plain ``int()``
+        truncation used to yield 2 instead of the intended 3).  The limit
+        never drops below 2, so minimal pair blocks always survive.
+
+        For clean--clean input the count covers the members of *both* sides
+        of a bilateral block -- the documented semantics is a fraction of
+        *all* descriptions, and ``total`` likewise counts both collections.
+        """
+        if self.max_block_fraction is None or total <= 0:
+            return None
+        return max(2, math.floor(self.max_block_fraction * total + 1e-9))
+
     def build(self, data: ERInput) -> BlockCollection:
         key_index: Dict[str, Dict[str, List[str]]] = {}
         total = 0
@@ -68,8 +100,8 @@ class TokenBlocking(BlockBuilder):
                 key_index.setdefault(token, {}).setdefault(side, []).append(
                     description.identifier
                 )
-        if self.max_block_fraction is not None and total > 0:
-            limit = max(2, int(self.max_block_fraction * total))
+        limit = self.member_limit(total)
+        if limit is not None:
             key_index = {
                 key: sides
                 for key, sides in key_index.items()
@@ -104,6 +136,7 @@ def cluster_attributes(
     data: ERInput,
     similarity_threshold: float = 0.25,
     stop_words: Optional[Iterable[str]] = DEFAULT_STOP_WORDS,
+    min_token_length: int = 1,
 ) -> Dict[str, int]:
     """Cluster attribute names by the similarity of their value token sets.
 
@@ -112,17 +145,46 @@ def cluster_attributes(
     in a catch-all "glue" cluster (cluster id 0), mirroring the original
     attribute-clustering construction: every attribute must belong to some
     cluster so that no token evidence is lost.
+
+    For clean--clean input the attribute-value profiles are pooled across
+    *both* collections -- left then right -- into one profile per attribute
+    name: attribute clustering aligns the vocabularies of the two sources, so
+    an attribute used by both KBs must contribute the evidence of both.  (An
+    earlier revision pretended to special-case :class:`CleanCleanTask` in a
+    branch whose arms were identical; the pooling is now explicit.)
+
+    ``min_token_length`` mirrors the tokenisation of the blocking-key stage so
+    callers can cluster attributes with exactly the token profiles their keys
+    are built from; the default of 1 keeps every token.
     """
     profiles: Dict[str, Set[str]] = {}
     if isinstance(data, CleanCleanTask):
-        descriptions = list(data)
+        descriptions: Iterator[EntityDescription] = itertools.chain(data.left, data.right)
     else:
-        descriptions = list(data)
+        descriptions = iter(data)
     for description in descriptions:
         for name in description.attribute_names:
-            tokens = token_set(description.values(name), stop_words=stop_words)
+            tokens = token_set(
+                description.values(name),
+                stop_words=stop_words,
+                min_length=min_token_length,
+            )
             profiles.setdefault(name, set()).update(tokens)
+    return cluster_attribute_profiles(profiles, similarity_threshold)
 
+
+def cluster_attribute_profiles(
+    profiles: Dict[str, AbstractSet],
+    similarity_threshold: float = 0.25,
+) -> Dict[str, int]:
+    """Cluster attribute names given their (already tokenised) value profiles.
+
+    This is the scheme-independent core of :func:`cluster_attributes`: it only
+    sees ``attribute name -> set of tokens`` and never tokenises anything, so
+    the profiles may hold raw token strings or interned token ids (as produced
+    by the array-backed blocking engine) -- the Jaccard similarities, and
+    therefore the resulting clustering, are identical either way.
+    """
     names = sorted(profiles)
     # best-match graph: attribute -> most similar other attribute
     best_match: Dict[str, Tuple[str, float]] = {}
@@ -201,8 +263,14 @@ class AttributeClusteringBlocking(TokenBlocking):
         self.similarity_threshold = similarity_threshold
 
     def build(self, data: ERInput) -> BlockCollection:
+        # the clustering profiles use the very tokenisation the blocking keys
+        # are built from (same stop words *and* minimum token length), so the
+        # two stages agree on what a token is
         attribute_clusters = cluster_attributes(
-            data, similarity_threshold=self.similarity_threshold, stop_words=self.stop_words
+            data,
+            similarity_threshold=self.similarity_threshold,
+            stop_words=self.stop_words,
+            min_token_length=self.min_token_length,
         )
         key_index: Dict[str, Dict[str, List[str]]] = {}
         total = 0
@@ -221,8 +289,8 @@ class AttributeClusteringBlocking(TokenBlocking):
                 key_index.setdefault(key, {}).setdefault(side, []).append(
                     description.identifier
                 )
-        if self.max_block_fraction is not None and total > 0:
-            limit = max(2, int(self.max_block_fraction * total))
+        limit = self.member_limit(total)
+        if limit is not None:
             key_index = {
                 key: sides
                 for key, sides in key_index.items()

@@ -51,6 +51,7 @@ def _load_collection(path: str, id_field: str) -> EntityCollection:
 def _workflow_from_args(args: argparse.Namespace) -> ERWorkflow:
     config = WorkflowConfig(
         blocking=args.blocking,
+        blocking_engine=args.blocking_engine,
         enable_metablocking=not args.no_metablocking,
         weighting_scheme=args.weighting,
         pruning_scheme=args.pruning,
@@ -74,6 +75,13 @@ def _write_clusters(clusters, output: Optional[str]) -> None:
 
 def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--blocking", default="token", help="blocking scheme (default: token)")
+    parser.add_argument(
+        "--blocking-engine",
+        default="index",
+        choices=["index", "oracle"],
+        help="blocking + cleaning execution: array-backed interned-token engine (index) "
+        "or the legacy per-dict builders and cleaners (oracle)",
+    )
     parser.add_argument("--no-metablocking", action="store_true", help="disable meta-blocking")
     parser.add_argument("--weighting", default="CBS", help="meta-blocking weighting scheme")
     parser.add_argument("--pruning", default="WNP", help="meta-blocking pruning scheme")

@@ -21,6 +21,14 @@ class WorkflowConfig:
         Name of the blocking scheme: ``"token"``, ``"attribute_clustering"``,
         ``"prefix_infix_suffix"``, ``"standard"``, ``"sorted_neighborhood"``,
         ``"qgrams"``, ``"similarity_join"``.
+    blocking_engine:
+        Execution engine of the blocking and block-cleaning stages:
+        ``"index"`` (default, array-backed interned-token builders and
+        streaming CSR cleaning passes) or ``"oracle"`` (the legacy
+        per-``dict``/``set`` builders and cleaners).  Both produce
+        block-for-block identical collections; schemes without an index
+        implementation fall back to the oracle automatically.  See
+        :mod:`repro.blocking`.
     enable_purging / enable_filtering:
         Whether block purging / block filtering run after blocking.
     filtering_ratio:
@@ -60,6 +68,7 @@ class WorkflowConfig:
     """
 
     blocking: str = "token"
+    blocking_engine: str = "index"
     enable_purging: bool = True
     enable_filtering: bool = True
     filtering_ratio: float = 0.8
@@ -78,7 +87,7 @@ class WorkflowConfig:
 
     def describe(self) -> str:
         """One-line human-readable summary of the configured pipeline."""
-        stages = [self.blocking]
+        stages = [f"{self.blocking}(engine={self.blocking_engine})"]
         if self.enable_purging:
             stages.append("purging")
         if self.enable_filtering:

@@ -24,6 +24,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.blocking.base import BlockBuilder, BlockCollection, ERInput
 from repro.blocking.cleaning import BlockFiltering, BlockPurging
+from repro.blocking.engine import BlockingEngine
 from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocking
 from repro.blocking.standard import QGramsBlocking, StandardBlocking, attribute_key
 from repro.blocking.similarity_join import SimilarityJoinBlocking
@@ -169,9 +170,10 @@ class ERWorkflow:
         # ---------------- blocking ----------------
         start = time.perf_counter()
         builder = self._make_blocking()
-        blocks = builder.build(data)
+        blocking_engine = BlockingEngine(builder, engine=config.blocking_engine)
+        blocks = blocking_engine.build(data)
         report.add_stage(
-            f"blocking[{builder.name}]",
+            f"blocking[{builder.name}@{blocking_engine.last_engine}]",
             blocks=len(blocks),
             comparisons=blocks.total_comparisons(),
             seconds=time.perf_counter() - start,
@@ -179,18 +181,20 @@ class ERWorkflow:
 
         if config.enable_purging:
             start = time.perf_counter()
-            blocks = BlockPurging().process(blocks)
+            blocks = blocking_engine.clean(blocks, purging=BlockPurging())
             report.add_stage(
-                "block_purging",
+                f"block_purging@{blocking_engine.last_engine}",
                 blocks=len(blocks),
                 comparisons=blocks.total_comparisons(),
                 seconds=time.perf_counter() - start,
             )
         if config.enable_filtering:
             start = time.perf_counter()
-            blocks = BlockFiltering(ratio=config.filtering_ratio).process(blocks)
+            blocks = blocking_engine.clean(
+                blocks, filtering=BlockFiltering(ratio=config.filtering_ratio)
+            )
             report.add_stage(
-                "block_filtering",
+                f"block_filtering@{blocking_engine.last_engine}",
                 blocks=len(blocks),
                 comparisons=blocks.total_comparisons(),
                 seconds=time.perf_counter() - start,
@@ -313,8 +317,6 @@ class ERWorkflow:
         phase), and the transient merged profile is invalidated as soon as its
         batch is done, so a merge only ever touches its own store entry.
         """
-        from repro.blocking.token_blocking import TokenBlocking
-
         new_matches: List[Tuple[str, str]] = []
         extra_comparisons = 0
         iterations = 0
@@ -335,7 +337,9 @@ class ERWorkflow:
         for first, second in matches:
             union(first, second)
 
-        blocks = TokenBlocking().build(data)
+        blocks = BlockingEngine(
+            TokenBlocking(), engine=self.config.blocking_engine
+        ).build(data)
         neighbour_index = blocks.entity_index()
         block_members = [list(block.members) for block in blocks]
 

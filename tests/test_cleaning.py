@@ -7,6 +7,7 @@ from repro.blocking.cleaning import (
     BlockFiltering,
     BlockPurging,
     ComparisonPropagation,
+    adaptive_cardinality_threshold,
     clean_blocks,
 )
 from repro.blocking.token_blocking import TokenBlocking
@@ -48,6 +49,47 @@ class TestBlockPurging:
         before = evaluate_blocks(blocks, small_dirty_dataset.ground_truth, small_dirty_dataset.collection)
         after = evaluate_blocks(purged, small_dirty_dataset.ground_truth, small_dirty_dataset.collection)
         assert after.pair_completeness >= before.pair_completeness - 0.1
+
+
+class TestAdaptiveThreshold:
+    """Edge cases of the adaptive purging bound."""
+
+    def test_uniform_cardinalities_purge_nothing(self):
+        # a single distinct cardinality has no gap to cut at
+        assert adaptive_cardinality_threshold([4, 4, 4, 4], smoothing_factor=2.0) == 4
+        blocks = BlockCollection(
+            [Block(f"b{i}", members=[f"x{i}", f"y{i}", f"z{i}"]) for i in range(5)]
+        )
+        assert len(BlockPurging().process(blocks)) == 5
+
+    def test_single_block(self):
+        assert adaptive_cardinality_threshold([7], smoothing_factor=2.0) == 7
+        blocks = BlockCollection([Block("only", members=["a", "b", "c"])])
+        assert len(BlockPurging().process(blocks)) == 1
+
+    def test_empty_cardinalities(self):
+        assert adaptive_cardinality_threshold([], smoothing_factor=2.0) == 0
+
+    def test_gap_exactly_at_the_median_boundary_is_ignored(self):
+        # median of [1, 3, 3, 3, 9] is 3: the (1 -> 3) gap has ratio 3.0 but
+        # its upper value equals the median, so only the upper-tail (3 -> 9)
+        # gap counts and the threshold lands on 3
+        assert adaptive_cardinality_threshold([1, 3, 3, 3, 9], smoothing_factor=2.0) == 3
+
+    def test_gap_just_above_the_median_counts(self):
+        # with median 1 the (1 -> 3) gap is in play; it ties the (3 -> 9)
+        # gap at ratio 3.0 and the earlier (lower) gap wins the tie, so the
+        # threshold cuts at 1
+        assert adaptive_cardinality_threshold([1, 1, 1, 3, 9], smoothing_factor=2.0) == 1
+
+    def test_smooth_distribution_purges_nothing(self):
+        # no upper-tail gap reaches the smoothing factor: keep everything
+        cardinalities = [2, 3, 4, 6]
+        assert adaptive_cardinality_threshold(cardinalities, smoothing_factor=2.0) == 6
+
+    def test_smoothing_factor_boundary(self):
+        # a gap ratio exactly equal to the smoothing factor is accepted
+        assert adaptive_cardinality_threshold([1, 1, 4, 8], smoothing_factor=2.0) == 4
 
 
 class TestBlockFiltering:
@@ -111,3 +153,23 @@ def test_clean_blocks_pipeline_combines_steps(small_dirty_dataset):
     )
     assert cleaned.total_comparisons() <= blocks.total_comparisons()
     assert cleaned.redundancy() == pytest.approx(1.0)
+
+
+def test_clean_blocks_on_clean_clean_input_end_to_end(small_clean_clean_dataset):
+    """The full purge -> filter -> propagate pipeline on bilateral blocks."""
+    task = small_clean_clean_dataset.task
+    blocks = TokenBlocking().build(task)
+    filtered = clean_blocks(blocks, purging=BlockPurging(), filtering=BlockFiltering(0.8))
+    cleaned = clean_blocks(filtered, propagate=True)
+    # every surviving block stays bilateral and every comparison cross-collection
+    assert all(block.is_bilateral for block in cleaned)
+    for first, second in cleaned.distinct_pairs():
+        assert task.is_valid_pair(first, second)
+    # propagation removes redundancy without losing a single distinct pair
+    assert cleaned.redundancy() == pytest.approx(1.0)
+    assert cleaned.distinct_pairs() == filtered.distinct_pairs()
+    # the pipeline kept most of the recall of the raw blocks
+    before = evaluate_blocks(blocks, small_clean_clean_dataset.ground_truth, task)
+    after = evaluate_blocks(cleaned, small_clean_clean_dataset.ground_truth, task)
+    assert after.pair_completeness >= before.pair_completeness - 0.1
+    assert after.num_comparisons <= before.num_comparisons

@@ -101,6 +101,19 @@ def test_unsupported_format_is_rejected(tmp_path):
         main(["resolve", str(bogus)])
 
 
+def test_blocking_engine_flag(tmp_path, capsys):
+    data = tmp_path / "dirty.csv"
+    main(["generate", "--entities", "30", "--seed", "7", "--output", str(data)])
+    for engine in ("index", "oracle"):
+        assert main(["resolve", str(data), "--blocking-engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert f"engine={engine}" in out  # config.describe() names the engine
+        assert f"@{engine}" in out  # the report stage names the executing engine
+    assert build_parser().parse_args(["resolve", "x.csv"]).blocking_engine == "index"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["resolve", "x.csv", "--blocking-engine", "bogus"])
+
+
 def test_matching_engine_flag(tmp_path, capsys):
     data = tmp_path / "dirty.csv"
     main(["generate", "--entities", "30", "--seed", "7", "--output", str(data)])

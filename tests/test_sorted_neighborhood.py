@@ -30,6 +30,35 @@ def test_sorted_order_is_deterministic_and_key_based():
     assert identifiers == ["e1", "e2", "e3", "e4", "e5"]
 
 
+def test_sorted_order_pools_both_clean_clean_collections():
+    """Clean--clean input: one sorted list over left *and* right, interleaved by key."""
+    left = EntityCollection(
+        [
+            EntityDescription("l1", {"name": "aaron"}),
+            EntityDescription("l2", {"name": "zoe"}),
+        ],
+        name="left",
+    )
+    right = EntityCollection(
+        [
+            EntityDescription("r1", {"name": "bella"}),
+            EntityDescription("r2", {"name": "aaron"}),
+        ],
+        name="right",
+    )
+    task = CleanCleanTask(left, right)
+    order = sorted_order(task, sorting_key_from_attributes(["name"]))
+    identifiers = [identifier for _, identifier in order]
+    # every description of both collections appears exactly once...
+    assert sorted(identifiers) == ["l1", "l2", "r1", "r2"]
+    # ...in one key-sorted sequence that interleaves the sources (equal keys
+    # break ties by identifier, so l1 precedes r2)
+    assert identifiers == ["l1", "r2", "r1", "l2"]
+    # a window can therefore span the two sources
+    blocks = SortedNeighborhoodBlocking(window_size=2).build(task)
+    assert ("l1", "r2") in blocks.distinct_pairs()
+
+
 def test_window_blocks_cover_adjacent_descriptions():
     blocks = SortedNeighborhoodBlocking(window_size=2).build(make_collection())
     pairs = blocks.distinct_pairs()

@@ -34,6 +34,22 @@ class TestWorkflowExecution:
         assert len(result.report) >= 4
         assert "clusters" in result.summary()
 
+    def test_blocking_engines_produce_identical_results(self, small_dirty_dataset):
+        """Swapping the blocking engine changes stage labels, not the outcome."""
+        results = {}
+        for engine in ("index", "oracle"):
+            workflow = default_workflow(blocking_engine=engine)
+            result = workflow.run(small_dirty_dataset.collection, small_dirty_dataset.ground_truth)
+            results[engine] = result
+            stage_names = [stage.stage for stage in result.report]
+            assert f"blocking[token_blocking@{engine}]" in stage_names
+            assert f"block_purging@{engine}" in stage_names
+            assert f"block_filtering@{engine}" in stage_names
+        assert sorted(results["index"].matches) == sorted(results["oracle"].matches)
+        assert (
+            results["index"].comparisons_executed == results["oracle"].comparisons_executed
+        )
+
     def test_workflow_without_ground_truth_still_runs(self, small_dirty_dataset):
         result = default_workflow().run(small_dirty_dataset.collection)
         assert result.matching_quality is None
