@@ -1,0 +1,219 @@
+"""E12 -- end-to-end workflow: legacy object pipeline vs shared columnar pipeline.
+
+Three configurations of the identical workflow (token blocking + purging +
+filtering, CBS+WNP meta-blocking, weight-ordered scheduling, TF-IDF
+matching, connected-components clustering) are executed end to end:
+
+* ``legacy``   -- the object engines of the seed implementation: oracle
+  blocking/cleaning, graph meta-blocking, per-pair matching, the
+  schedulers' own generators, one token store per stage;
+* ``columnar`` -- the array-backed per-phase engines (index blocking,
+  index meta-blocking, batch matching) but still object scheduling and
+  per-stage interning;
+* ``shared``   -- the full columnar pipeline: a shared
+  :class:`~repro.core.context.PipelineContext` interning the collection
+  once, meta-blocking emitting comparison columns, and the array
+  scheduling engine (the workflow defaults).
+
+All three must produce identical matches, comparison counts and progressive
+curves.  Wall time and peak allocation are measured in forked children so
+one configuration's peak RSS cannot leak into another's row -- the same
+protocol as ``bench_metablocking.py``/``bench_matching.py``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import time
+import tracemalloc
+
+try:
+    import resource
+except ImportError:  # pragma: no cover - Windows has no resource module
+    resource = None
+
+from benchmarks.conftest import save_table
+from repro.core.config import WorkflowConfig
+from repro.core.workflow import ERWorkflow
+from repro.datasets import DatasetConfig, generate_dirty_dataset
+
+#: Input sizes of the workflow comparison (number of generated entities).
+#: The quick mode (``REPRO_BENCH_QUICK=1``, used by the CI smoke jobs) only
+#: runs the 500-entity input and only asserts that the new pipeline is not
+#: slower; the full run scales to 2000 entities, where the shared columnar
+#: pipeline must be at least 2x faster end to end than the legacy object
+#: pipeline.
+WORKFLOW_COMPARISON_SIZES = (500, 1000, 2000)
+WORKFLOW_QUICK_SIZE = 500
+
+CONFIGURATIONS = {
+    "legacy": dict(
+        blocking_engine="oracle",
+        metablocking_engine="graph",
+        matching_engine="pairwise",
+        scheduling_engine="object",
+        shared_context=False,
+    ),
+    "columnar": dict(scheduling_engine="object", shared_context=False),
+    "shared": dict(),  # the workflow defaults
+}
+
+
+def _workflow_input(num_entities: int):
+    dataset = generate_dirty_dataset(
+        DatasetConfig(
+            num_entities=num_entities,
+            duplicates_per_entity=1.2,
+            domain="person",
+            seed=101,
+        )
+    )
+    return dataset.collection, dataset.ground_truth
+
+
+def _peak_rss_bytes():
+    if resource is None:  # e.g. Windows
+        return None
+    maxrss = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    # ru_maxrss is kilobytes on Linux but bytes on macOS
+    return maxrss if sys.platform == "darwin" else maxrss * 1024
+
+
+def _measure_configuration(name: str, collection, ground_truth):
+    """One timed + one memory-traced end-to-end run in the current process.
+
+    Returns ``(seconds, tracemalloc peak bytes, peak RSS bytes | None,
+    result summary)`` where the summary carries everything the equivalence
+    assertions need.
+    """
+    config = WorkflowConfig(**CONFIGURATIONS[name])
+    start = time.perf_counter()
+    result = ERWorkflow(config).run(collection, ground_truth)
+    seconds = time.perf_counter() - start
+    tracemalloc.start()
+    ERWorkflow(config).run(collection, ground_truth)
+    _current, peak = tracemalloc.get_traced_memory()
+    tracemalloc.stop()
+    summary = {
+        "matches": sorted(result.matches),
+        "comparisons": result.comparisons_executed,
+        "curve": result.curve.history() if result.curve is not None else None,
+        "clusters": sorted(tuple(sorted(c)) for c in result.clusters),
+        "f1": result.matching_quality.f1 if result.matching_quality else None,
+    }
+    return seconds, peak, _peak_rss_bytes(), summary
+
+
+def _measure_in_child(name, collection, ground_truth, conn) -> None:
+    try:
+        conn.send(_measure_configuration(name, collection, ground_truth))
+    finally:
+        conn.close()
+
+
+def _run_configuration(name: str, collection, ground_truth):
+    """Measure one configuration in a forked child so its peak RSS is its own."""
+    if not hasattr(os, "fork"):
+        return _measure_configuration(name, collection, ground_truth)
+    ctx = multiprocessing.get_context("fork")
+    parent_conn, child_conn = ctx.Pipe(duplex=False)
+    child = ctx.Process(
+        target=_measure_in_child, args=(name, collection, ground_truth, child_conn)
+    )
+    child.start()
+    child_conn.close()
+    try:
+        result = parent_conn.recv()
+    except EOFError:  # child died before sending (e.g. MemoryError)
+        result = None
+    finally:
+        parent_conn.close()
+        child.join()
+    if result is None or child.exitcode != 0:
+        raise RuntimeError(f"workflow measurement subprocess failed for {name!r}")
+    return result
+
+
+def test_workflow_old_vs_new(benchmark):
+    """Legacy vs columnar vs shared pipeline: wall time, peak alloc, RSS.
+
+    All configurations must produce identical results.  The full run
+    requires the shared pipeline to be at least 2x faster end to end than
+    the legacy pipeline on the largest input and no slower than the
+    columnar-engines-without-context configuration; the quick mode
+    (``REPRO_BENCH_QUICK=1``) only requires it to be no slower than legacy
+    on the small input.
+    """
+    quick = os.environ.get("REPRO_BENCH_QUICK") == "1"
+    sizes = (WORKFLOW_QUICK_SIZE,) if quick else WORKFLOW_COMPARISON_SIZES
+
+    rows = []
+    speedups = {}
+    for num_entities in sizes:
+        collection, ground_truth = _workflow_input(num_entities)
+        measured = {}
+        for name in CONFIGURATIONS:
+            seconds, peak, rss, summary = _run_configuration(
+                name, collection, ground_truth
+            )
+            measured[name] = (seconds, summary)
+            rows.append(
+                {
+                    "entities": num_entities,
+                    "pipeline": name,
+                    "comparisons": summary["comparisons"],
+                    "matches": len(summary["matches"]),
+                    "f1": round(summary["f1"], 3),
+                    "seconds": round(seconds, 3),
+                    "peak alloc MB": round(peak / 1e6, 1),
+                    "peak RSS MB": round(rss / 1e6, 1) if rss is not None else "n/a",
+                }
+            )
+        # identical output across all three pipelines
+        reference = measured["legacy"][1]
+        for name in ("columnar", "shared"):
+            assert measured[name][1] == reference, f"{name} output diverged"
+        speedups[(num_entities, "legacy/shared")] = measured["legacy"][0] / max(
+            1e-9, measured["shared"][0]
+        )
+        speedups[(num_entities, "columnar/shared")] = measured["columnar"][0] / max(
+            1e-9, measured["shared"][0]
+        )
+
+    save_table(
+        "E12_workflow_pipeline_comparison",
+        rows,
+        "end-to-end workflow pipelines (token+CBS/WNP+weight_order+tfidf)",
+        notes=(
+            "Identical matches, comparison counts and progressive curves. "
+            "The shared pipeline interns the collection once (PipelineContext) and "
+            "schedules over flat ordinal/weight arrays. Speedups: "
+            + ", ".join(f"{n} entities {k}: {s:.2f}x" for (n, k), s in speedups.items())
+        ),
+    )
+    benchmark.extra_info["speedups"] = {
+        f"{n}/{k}": round(s, 2) for (n, k), s in speedups.items()
+    }
+    # input built outside the timed call: the recorded metric measures the
+    # shared pipeline alone, not dataset generation
+    timed_collection, timed_truth = _workflow_input(sizes[0])
+    benchmark.pedantic(
+        lambda: ERWorkflow(WorkflowConfig()).run(timed_collection, timed_truth),
+        rounds=1,
+        iterations=1,
+    )
+
+    # the new pipeline must never be slower than the legacy one; at scale it
+    # must win clearly, and the shared context + array scheduler must not
+    # regress the columnar engines
+    assert all(
+        speedup >= 1.0
+        for (_, kind), speedup in speedups.items()
+        if kind == "legacy/shared"
+    ), speedups
+    if not quick:
+        largest = sizes[-1]
+        assert speedups[(largest, "legacy/shared")] >= 2.0, speedups
+        assert speedups[(largest, "columnar/shared")] >= 1.0, speedups

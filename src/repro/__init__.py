@@ -19,10 +19,11 @@ The library is organised around the tutorial's Figure 1 workflow:
 * :mod:`repro.matching` -- pairwise matchers, oracle, clustering.
 * :mod:`repro.iterative` -- merging-based and relationship-based iterative ER,
   iterative blocking.
-* :mod:`repro.progressive` -- pay-as-you-go schedulers, budgets, progressive
-  runner.
+* :mod:`repro.progressive` -- pay-as-you-go schedulers, budgets, the array
+  scheduling engine, progressive runner.
 * :mod:`repro.evaluation` -- PC/PQ/RR, matching quality, progressive recall.
-* :mod:`repro.core` -- the configurable end-to-end workflow.
+* :mod:`repro.core` -- the configurable end-to-end workflow and the shared
+  columnar pipeline context.
 
 Quickstart::
 

@@ -85,7 +85,7 @@ from repro.blocking.token_blocking import (
 from repro.datamodel.collection import CleanCleanTask
 from repro.datamodel.pairs import canonical_pair
 from repro.text.profile_store import ProfileStore
-from repro.text.tokenize import token_set
+from repro.text.tokenize import token_set, uri_tokens
 
 try:  # pragma: no cover - exercised implicitly when numpy is installed
     import numpy as _np
@@ -135,7 +135,9 @@ def _add_block(
         collection.add(Block(key, members=[ids[o] for o in posting]))
 
 
-def _index_token_build(builder: TokenBlocking, data: ERInput) -> BlockCollection:
+def _index_token_build(
+    builder: TokenBlocking, data: ERInput, context=None
+) -> BlockCollection:
     """Index-engine build for token blocking and prefix--infix--suffix blocking.
 
     ``builder.tokens_of`` (the library implementation -- exact-type dispatch
@@ -144,7 +146,15 @@ def _index_token_build(builder: TokenBlocking, data: ERInput) -> BlockCollection
     is the representation: keys are interned to dense ids once and the
     inverted index holds flat ``array('q')`` postings of description
     ordinals instead of nested string-keyed dicts of identifier lists.
+
+    With a shared ``context`` the tokenisation pass disappears entirely: the
+    keys are the context's interned distinct ids filtered by the builder's
+    stop words and minimum token length (the same admission rule
+    ``token_set`` applies while tokenising), so the key set per description
+    is identical by construction.
     """
+    if context is not None:
+        return _context_token_build(builder, context)
     store = ProfileStore(
         stop_words=builder.stop_words, min_token_length=builder.min_token_length
     )
@@ -168,8 +178,51 @@ def _index_token_build(builder: TokenBlocking, data: ERInput) -> BlockCollection
     return collection
 
 
+def _context_token_build(builder: TokenBlocking, context) -> BlockCollection:
+    """Token / prefix--infix--suffix build over a shared context's columns."""
+    token_filter = context.token_filter(builder.stop_words, builder.min_token_length)
+    trivial = token_filter.trivial
+    allows = token_filter.allows
+    ids: List[str] = context.ids
+    postings: Dict[int, array] = {}
+    uri_keys = type(builder) is PrefixInfixSuffixBlocking
+    stop_words = builder.stop_words
+    min_token_length = builder.min_token_length
+    for ordinal in range(context.num_descriptions):
+        token_ids, _counts = context.token_counts(ordinal)
+        if uri_keys:
+            # value tokens plus the URI-derived keys of PrefixInfixSuffix
+            # blocking; the infix keys may overlap the value tokens, so the
+            # per-description key set is deduplicated exactly like the
+            # oracle's ``tokens_of`` set union
+            keys = {t for t in token_ids if trivial or allows(t)}
+            _, infix, infix_tokens = uri_tokens(ids[ordinal])
+            if infix:
+                keys.add(context.intern(infix.lower()))
+            for token in infix_tokens:
+                if len(token) >= min_token_length and token not in stop_words:
+                    keys.add(context.intern(token))
+            for key in keys:
+                _append_posting(postings, key, ordinal)
+        else:
+            for token_id in token_ids:
+                if trivial or allows(token_id):
+                    _append_posting(postings, token_id, ordinal)
+
+    left_count = context.left_count
+    limit = builder.member_limit(context.num_descriptions)
+    collection = BlockCollection(name=builder.name)
+    token_of = context.token
+    for key, token_id in sorted((token_of(tid), tid) for tid in postings):
+        posting = postings[token_id]
+        if limit is not None and len(posting) > limit:
+            continue
+        _add_block(collection, key, posting, ids, left_count)
+    return collection
+
+
 def _index_attribute_clustering_build(
-    builder: AttributeClusteringBlocking, data: ERInput
+    builder: AttributeClusteringBlocking, data: ERInput, context=None
 ) -> BlockCollection:
     """Index-engine build for attribute-clustering blocking.
 
@@ -177,25 +230,58 @@ def _index_attribute_clustering_build(
     the attribute clustering (Jaccard over id sets equals Jaccard over the
     oracle's string sets, and :func:`cluster_attribute_profiles` is the very
     code the oracle runs) and the blocking keys, so the two stages agree on
-    tokenisation by construction.
+    tokenisation by construction.  With a shared ``context`` even that single
+    pass disappears: the per-attribute id sets are the context's columns
+    filtered by the builder's stop words and minimum token length.
     """
-    store = ProfileStore(
-        stop_words=builder.stop_words, min_token_length=builder.min_token_length
-    )
-    intern = store.intern
-    ids: List[str] = []
+    # the two token-id sources -- context columns vs a fresh per-engine store
+    # -- only differ in where a description's (attribute, token ids) entries
+    # come from; the profile accumulation below is shared
+    if context is not None:
+        ids = context.ids
+        token_filter = context.token_filter(
+            builder.stop_words, builder.min_token_length
+        )
+        trivial = token_filter.trivial
+        allows = token_filter.allows
+
+        def description_entries():
+            for ordinal in range(context.num_descriptions):
+                yield [
+                    (attribute, [t for t in attr_ids if trivial or allows(t)])
+                    for attribute, attr_ids, _counts in context.attribute_entries(ordinal)
+                ]
+
+    else:
+        store = ProfileStore(
+            stop_words=builder.stop_words, min_token_length=builder.min_token_length
+        )
+        intern = store.intern
+        ids = []
+
+        def description_entries():
+            for _side, description in BlockBuilder._iter_with_side(data):
+                ids.append(description.identifier)
+                yield [
+                    (
+                        attribute,
+                        [
+                            intern(token)
+                            for token in token_set(
+                                description.values(attribute),
+                                stop_words=builder.stop_words,
+                                min_length=builder.min_token_length,
+                            )
+                        ],
+                    )
+                    for attribute in description.attribute_names
+                ]
+
     tokenised: List[List[Tuple[str, List[int]]]] = []
     attribute_profiles: Dict[str, Set[int]] = {}
-    for _side, description in BlockBuilder._iter_with_side(data):
-        ids.append(description.identifier)
+    for attribute_token_ids in description_entries():
         entries: List[Tuple[str, List[int]]] = []
-        for attribute in description.attribute_names:
-            tokens = token_set(
-                description.values(attribute),
-                stop_words=builder.stop_words,
-                min_length=builder.min_token_length,
-            )
-            token_ids = [intern(token) for token in tokens]
+        for attribute, token_ids in attribute_token_ids:
             profile = attribute_profiles.get(attribute)
             if profile is None:
                 attribute_profiles[attribute] = profile = set()
@@ -216,11 +302,16 @@ def _index_attribute_clustering_build(
         for key in keys:
             _append_posting(postings, key, ordinal)
 
-    left_count = len(data.left) if isinstance(data, CleanCleanTask) else -1
+    left_count = (
+        context.left_count
+        if context is not None
+        else (len(data.left) if isinstance(data, CleanCleanTask) else -1)
+    )
     limit = builder.member_limit(len(ids))
     collection = BlockCollection(name=builder.name)
+    token_of = context.token if context is not None else store.token
     for key, pair in sorted(
-        (f"c{cluster_id}#{store.token(token_id)}", (cluster_id, token_id))
+        (f"c{cluster_id}#{token_of(token_id)}", (cluster_id, token_id))
         for cluster_id, token_id in postings
     ):
         posting = postings[pair]
@@ -576,6 +667,14 @@ class BlockingEngine:
         importable) or forbid (``False``) the vectorised filtering and
         propagation passes; ``None`` (default) uses NumPy whenever it is
         importable.  Both paths produce bit-identical output.
+    context:
+        Optional shared :class:`~repro.core.context.PipelineContext`.  When
+        given and the context owns the input data, the index builders read
+        the context's interned token columns instead of tokenising the
+        collection themselves -- the single-interning guarantee of the
+        shared pipeline context.  Ignored (per-engine interning, exactly as
+        before) for data the context does not own, for the oracle engine,
+        and for builders without an index implementation.
 
     Notes
     -----
@@ -590,6 +689,7 @@ class BlockingEngine:
         builder: Optional[BlockBuilder] = None,
         engine: str = "index",
         use_numpy: Optional[bool] = None,
+        context=None,
     ) -> None:
         if engine not in BLOCKING_ENGINES:
             raise ValueError(f"unknown engine {engine!r}; available: {BLOCKING_ENGINES}")
@@ -600,6 +700,7 @@ class BlockingEngine:
             )
         self.builder = builder if builder is not None else TokenBlocking()
         self.engine = engine
+        self.context = context
         self._use_numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
         #: engine that actually executed the last build/clean call
         self.last_engine: Optional[str] = None
@@ -614,9 +715,12 @@ class BlockingEngine:
         """Build the blocks of ``data`` with the configured builder."""
         if self.build_index_applicable:
             self.last_engine = "index"
+            context = self.context
+            if context is not None and not context.owns(data):
+                context = None
             if type(self.builder) is AttributeClusteringBlocking:
-                return _index_attribute_clustering_build(self.builder, data)
-            return _index_token_build(self.builder, data)
+                return _index_attribute_clustering_build(self.builder, data, context)
+            return _index_token_build(self.builder, data, context)
         self.last_engine = "oracle"
         return self.builder.build(data)
 

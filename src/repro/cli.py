@@ -57,10 +57,12 @@ def _workflow_from_args(args: argparse.Namespace) -> ERWorkflow:
         pruning_scheme=args.pruning,
         metablocking_engine=args.metablocking_engine,
         scheduler=args.scheduler,
+        scheduling_engine=args.scheduling_engine,
         matching_engine=args.matching_engine,
         budget=args.budget,
         match_threshold=args.threshold,
         iterate_merges=args.iterate,
+        shared_context=not args.no_shared_context,
     )
     return ERWorkflow(config)
 
@@ -93,10 +95,23 @@ def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
     )
     parser.add_argument("--scheduler", default="weight_order", help="progressive scheduler")
     parser.add_argument(
+        "--scheduling-engine",
+        default="array",
+        choices=["array", "object"],
+        help="comparison scheduling: flat ordinal/weight arrays (array) or the "
+        "schedulers' own generators (object); adaptive schedulers always use the latter",
+    )
+    parser.add_argument(
         "--matching-engine",
         default="batch",
         choices=["batch", "pairwise"],
         help="comparison execution: batched columnar scoring (batch) or the per-pair oracle",
+    )
+    parser.add_argument(
+        "--no-shared-context",
+        action="store_true",
+        help="disable the shared pipeline context (each stage interns its own "
+        "token store, tokenising the collection once per stage)",
     )
     parser.add_argument("--budget", type=int, default=None, help="comparison budget (default: unlimited)")
     parser.add_argument("--threshold", type=float, default=0.55, help="match threshold")

@@ -45,6 +45,13 @@ class WorkflowConfig:
         Progressive scheduler name: ``"weight_order"``, ``"random"``,
         ``"sorted_list"``, ``"hierarchy"``, ``"psnm"``, ``"progressive_blocks"``,
         ``"cost_benefit"``.
+    scheduling_engine:
+        Execution engine of the scheduling stage: ``"array"`` (default,
+        orders and drains the candidate comparisons as flat ordinal/weight
+        arrays) or ``"object"`` (the schedulers' own generator
+        implementations).  Schedules are bit-identical; adaptive and custom
+        schedulers fall back to the object path automatically.  See
+        :mod:`repro.progressive`.
     matching_engine:
         Comparison-execution engine of the matching phase: ``"batch"``
         (default, scores candidate pairs in vectorised passes against a
@@ -65,6 +72,13 @@ class WorkflowConfig:
     clustering:
         Final clustering: ``"connected_components"``, ``"center"`` or
         ``"merge_center"``.
+    shared_context:
+        Whether the workflow interns the input collection once into a shared
+        :class:`~repro.core.context.PipelineContext` (default) and threads
+        it through blocking, meta-blocking, the TF-IDF fit and matching, or
+        lets every engine intern its own per-stage store (the historical
+        behaviour).  Results are bit-identical either way; the shared
+        context only removes the redundant tokenisation passes.
     """
 
     blocking: str = "token"
@@ -77,6 +91,7 @@ class WorkflowConfig:
     pruning_scheme: str = "WNP"
     metablocking_engine: str = "index"
     scheduler: str = "weight_order"
+    scheduling_engine: str = "array"
     matching_engine: str = "batch"
     budget: Optional[int] = None
     match_threshold: float = 0.55
@@ -84,6 +99,7 @@ class WorkflowConfig:
     iterate_merges: bool = False
     max_iterations: int = 3
     clustering: str = "connected_components"
+    shared_context: bool = True
 
     def describe(self) -> str:
         """One-line human-readable summary of the configured pipeline."""
@@ -97,7 +113,7 @@ class WorkflowConfig:
                 f"metablocking({self.weighting_scheme}+{self.pruning_scheme},"
                 f" engine={self.metablocking_engine})"
             )
-        stages.append(f"scheduler={self.scheduler}")
+        stages.append(f"scheduler={self.scheduler}(engine={self.scheduling_engine})")
         stages.append(
             f"matcher(threshold={self.match_threshold}, engine={self.matching_engine})"
         )
@@ -105,4 +121,5 @@ class WorkflowConfig:
             stages.append("iterative-merging")
         stages.append(self.clustering)
         budget = f", budget={self.budget}" if self.budget is not None else ""
-        return " -> ".join(stages) + budget
+        context = ", shared-context" if self.shared_context else ""
+        return " -> ".join(stages) + budget + context

@@ -34,12 +34,13 @@ from repro.blocking.token_blocking import (
     TokenBlocking,
 )
 from repro.core.config import WorkflowConfig
+from repro.core.context import PipelineContext
 from repro.core.results import WorkflowResult
 from repro.datamodel.collection import CleanCleanTask, EntityCollection
 from repro.datamodel.description import merge_descriptions
 from repro.datamodel.ground_truth import GroundTruth
-from repro.datamodel.pairs import Comparison
-from repro.evaluation.metrics import evaluate_blocks, evaluate_matches
+from repro.datamodel.pairs import Comparison, ComparisonColumns
+from repro.evaluation.metrics import evaluate_blocks, evaluate_comparisons, evaluate_matches
 from repro.matching.clustering import (
     CenterClustering,
     ConnectedComponentsClustering,
@@ -49,6 +50,7 @@ from repro.matching.engine import MatchingEngine
 from repro.matching.matchers import Matcher, ProfileSimilarityMatcher
 from repro.metablocking.pipeline import MetaBlocking
 from repro.progressive.budget import Budget
+from repro.progressive.engine import SchedulingEngine
 from repro.progressive.hierarchy import PartitionHierarchyScheduler
 from repro.progressive.psnm import ProgressiveBlockScheduler, ProgressiveSortedNeighborhood
 from repro.progressive.runner import run_progressive
@@ -136,12 +138,19 @@ class ERWorkflow:
             )
         return _SCHEDULER_FACTORIES[name]()
 
-    def _make_matcher(self, data: ERInput) -> Matcher:
+    def _make_matcher(
+        self, data: ERInput, context: Optional[PipelineContext] = None
+    ) -> Matcher:
         if self._matcher_override is not None:
             return self._matcher_override
         vectorizer = None
         if self.config.use_tfidf:
-            vectorizer = TfIdfVectorizer().fit(iter(data))
+            # the shared context fits from its interned postings -- no second
+            # tokenisation pass; the fitted frequencies are identical integers
+            if context is not None:
+                vectorizer = context.fit_vectorizer()
+            else:
+                vectorizer = TfIdfVectorizer().fit(iter(data))
         return ProfileSimilarityMatcher(
             threshold=self.config.match_threshold, vectorizer=vectorizer
         )
@@ -167,11 +176,18 @@ class ERWorkflow:
         result = WorkflowResult()
         report = result.report
 
+        # shared columnar context: the collection is interned exactly once
+        # and every phase derives its token view from the shared columns
+        context = PipelineContext(data) if config.shared_context else None
+
         # ---------------- blocking ----------------
         start = time.perf_counter()
         builder = self._make_blocking()
-        blocking_engine = BlockingEngine(builder, engine=config.blocking_engine)
+        blocking_engine = BlockingEngine(
+            builder, engine=config.blocking_engine, context=context
+        )
         blocks = blocking_engine.build(data)
+        raw_blocks = blocks
         report.add_stage(
             f"blocking[{builder.name}@{blocking_engine.last_engine}]",
             blocks=len(blocks),
@@ -201,7 +217,7 @@ class ERWorkflow:
             )
 
         # ---------------- meta-blocking ----------------
-        candidates: Union[BlockCollection, List[Comparison]]
+        candidates: Union[BlockCollection, ComparisonColumns, List[Comparison]]
         if config.enable_metablocking:
             start = time.perf_counter()
             metablocking = MetaBlocking(
@@ -209,8 +225,7 @@ class ERWorkflow:
                 config.pruning_scheme,
                 engine=config.metablocking_engine,
             )
-            weighted = metablocking.weighted_comparisons(blocks)
-            candidates = weighted
+            candidates = metablocking.weighted_columns(blocks, context=context)
             report.add_stage(
                 f"metablocking[{config.weighting_scheme}+{config.pruning_scheme}"
                 f"@{metablocking.last_engine}]",
@@ -222,21 +237,24 @@ class ERWorkflow:
             candidates = blocks
 
         if ground_truth is not None:
-            candidate_pairs = (
-                {c.pair for c in candidates}
-                if not isinstance(candidates, BlockCollection)
-                else candidates.distinct_pairs()
-            )
-            result.blocking_quality = None
-            from repro.evaluation.metrics import evaluate_comparisons
-
+            if isinstance(candidates, BlockCollection):
+                candidate_pairs = candidates.distinct_pairs()
+            elif isinstance(candidates, ComparisonColumns):
+                candidate_pairs = candidates.pairs()
+            else:
+                # a lazy candidate source would be exhausted by evaluating it
+                # here and then again by the scheduler: materialise it once
+                if not isinstance(candidates, (list, tuple)):
+                    candidates = list(candidates)
+                candidate_pairs = {c.pair for c in candidates}
             result.blocking_quality = evaluate_comparisons(candidate_pairs, ground_truth, data)
 
         # ---------------- scheduling + matching ----------------
         start = time.perf_counter()
         scheduler = self._make_scheduler()
-        matcher = self._make_matcher(data)
-        engine = MatchingEngine(matcher, engine=config.matching_engine)
+        matcher = self._make_matcher(data, context)
+        engine = MatchingEngine(matcher, engine=config.matching_engine, context=context)
+        scheduling = SchedulingEngine(scheduler, engine=config.scheduling_engine)
         progressive = run_progressive(
             scheduler=scheduler,
             matcher=matcher,
@@ -246,12 +264,14 @@ class ERWorkflow:
             ground_truth=ground_truth,
             keep_decisions=False,
             engine=engine,
+            scheduling=scheduling,
         )
         result.comparisons_executed += progressive.comparisons_executed
         result.matches = list(progressive.declared_matches)
         result.curve = progressive.curve
         report.add_stage(
-            f"matching[{scheduler.name}@{engine.last_engine or engine.engine}]",
+            f"matching[{scheduler.name}@{scheduling.last_engine or scheduling.engine}"
+            f"+{engine.last_engine or engine.engine}]",
             comparisons=progressive.comparisons_executed,
             declared_matches=len(progressive.declared_matches),
             seconds=time.perf_counter() - start,
@@ -261,7 +281,11 @@ class ERWorkflow:
         if config.iterate_merges and result.matches:
             start = time.perf_counter()
             new_matches, extra_comparisons, iterations = self._iterate_merges(
-                data, engine, result.matches
+                data,
+                engine,
+                result.matches,
+                blocks=raw_blocks if self._merge_blocks_reusable(builder) else None,
+                context=context,
             )
             result.matches.extend(new_matches)
             result.comparisons_executed += extra_comparisons
@@ -298,11 +322,31 @@ class ERWorkflow:
         return result
 
     # ------------------------------------------------------------------
+    @staticmethod
+    def _merge_blocks_reusable(builder: BlockBuilder) -> bool:
+        """Whether the blocking stage's raw blocks equal the update phase's.
+
+        The update phase neighbours merged descriptions through plain
+        default-parameter token blocking.  When the workflow's own blocking
+        stage already ran exactly that scheme (the exact type with the
+        default tokenisation -- subclasses such as prefix--infix--suffix add
+        keys and must not be reused), its pre-cleaning output is the very
+        collection the update phase would rebuild, so rebuilding is skipped.
+        """
+        if type(builder) is not TokenBlocking:
+            return False
+        # full-configuration equality: any future TokenBlocking parameter is
+        # covered automatically, so a non-default builder can never slip
+        # through and hand the update phase the wrong neighbourhoods
+        return vars(builder) == vars(TokenBlocking())
+
     def _iterate_merges(
         self,
         data: ERInput,
         engine: MatchingEngine,
         matches: Sequence[Tuple[str, str]],
+        blocks: Optional[BlockCollection] = None,
+        context: Optional[PipelineContext] = None,
     ) -> Tuple[List[Tuple[str, str]], int, int]:
         """Merging-based update phase.
 
@@ -310,6 +354,12 @@ class ERWorkflow:
         against the (not yet matched) descriptions that share a token-blocking
         block with any of its sources, which may reveal matches missed by the
         pairwise phase.  Returns (new matches, extra comparisons, iterations).
+
+        ``blocks`` is the blocking stage's raw (pre-cleaning) token-block
+        collection when it is known to equal what this phase would rebuild
+        (see :meth:`_merge_blocks_reusable`); otherwise the blocks are rebuilt
+        here -- from the shared ``context``'s postings when one is supplied,
+        so even the rebuild adds no tokenisation pass.
 
         Comparisons run through the matching ``engine``: the candidates of one
         merged description are scored as a single batch against the engine's
@@ -337,9 +387,10 @@ class ERWorkflow:
         for first, second in matches:
             union(first, second)
 
-        blocks = BlockingEngine(
-            TokenBlocking(), engine=self.config.blocking_engine
-        ).build(data)
+        if blocks is None:
+            blocks = BlockingEngine(
+                TokenBlocking(), engine=self.config.blocking_engine, context=context
+            ).build(data)
         neighbour_index = blocks.entity_index()
         block_members = [list(block.members) for block in blocks]
 

@@ -9,8 +9,14 @@ operation.
 
 from __future__ import annotations
 
+from array import array
 from dataclasses import dataclass, field
-from typing import Dict, Optional, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+
+try:  # pragma: no cover - exercised implicitly when numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 def canonical_pair(first: str, second: str) -> Tuple[str, str]:
@@ -69,6 +75,258 @@ class Comparison:
         if self.weight is None:
             return f"Comparison({self.first!r}, {self.second!r})"
         return f"Comparison({self.first!r}, {self.second!r}, weight={self.weight:.4f})"
+
+
+def pair_code(a: int, b: int) -> int:
+    """Pack an unordered ordinal pair into one integer (``min << 32 | max``).
+
+    The packing assumes ordinals fit 32 bits (four billion descriptions),
+    which every realistic collection satisfies; it is the single definition
+    of the dedup-code scheme used by the columnar paths.
+    """
+    return (a << 32) | b if a < b else (b << 32) | a
+
+
+class OrdinalInterner:
+    """Assigns dense ordinals to identifiers in first-seen order.
+
+    Calling the interner with an identifier returns its ordinal, assigning
+    the next free one on first sight; :attr:`ids` is the inverse table
+    (ordinal -> identifier), growing as identifiers are interned -- safe to
+    hand to a :class:`ComparisonColumns` or
+    :class:`~repro.progressive.engine.ScheduledRows` before interning is
+    complete, because consumers only index it after the producing row was
+    yielded.
+    """
+
+    __slots__ = ("ids", "_ordinal")
+
+    def __init__(self) -> None:
+        self.ids: List[str] = []
+        self._ordinal: Dict[str, int] = {}
+
+    def __call__(self, identifier: str) -> int:
+        ordinal = self._ordinal.get(identifier)
+        if ordinal is None:
+            ordinal = self._ordinal[identifier] = len(self.ids)
+            self.ids.append(identifier)
+        return ordinal
+
+    def __len__(self) -> int:
+        return len(self.ids)
+
+
+class ComparisonColumns(Sequence):
+    """Candidate comparisons as parallel ``(left, right, weight)`` arrays.
+
+    The columnar counterpart of a ``List[Comparison]``: an identifier table
+    plus three flat columns.  Meta-blocking emits its retained edges in this
+    form (:meth:`~repro.metablocking.pipeline.MetaBlocking.weighted_columns`)
+    and the array scheduling engine orders and drains them without ever
+    materialising per-pair objects; every consumer written against a plain
+    comparison sequence keeps working, because iteration and indexing
+    materialise bit-identical :class:`Comparison` objects lazily.
+
+    Attributes
+    ----------
+    ids:
+        Identifier table; ``first``/``second`` hold indices into it.  Rows
+        are stored in canonical order (``ids[first[i]] < ids[second[i]]``).
+    first, second:
+        ``array('q')`` ordinal columns, one entry per comparison.
+    weights:
+        Aligned ``array('d')`` of comparison weights, or ``None`` when the
+        comparisons are unweighted.
+    descriptions:
+        Optional table of resolved description objects aligned with
+        :attr:`ids` (supplied by the shared pipeline context), letting
+        executors skip the per-comparison identifier lookup.
+    distinct:
+        Whether the rows are known to hold no duplicate pair (meta-blocking
+        output is distinct by construction); consumers that must
+        deduplicate can skip the pass when set.
+    weight_ordered:
+        Whether the rows are already in ``(-weight, first, second)`` order,
+        making :meth:`weight_sorted` a zero-cost pass-through (meta-blocking
+        emits its columns pre-sorted).
+    """
+
+    __slots__ = (
+        "ids",
+        "first",
+        "second",
+        "weights",
+        "descriptions",
+        "distinct",
+        "weight_ordered",
+    )
+
+    def __init__(
+        self,
+        ids: Sequence[str],
+        first: array,
+        second: array,
+        weights: Optional[array] = None,
+        descriptions: Optional[Sequence] = None,
+        distinct: bool = False,
+        weight_ordered: bool = False,
+    ) -> None:
+        if len(first) != len(second):
+            raise ValueError("first and second columns must have equal length")
+        if weights is not None and len(weights) != len(first):
+            raise ValueError("weights column must align with the ordinal columns")
+        self.ids = ids
+        self.first = first
+        self.second = second
+        self.weights = weights
+        self.descriptions = descriptions
+        self.distinct = distinct
+        self.weight_ordered = weight_ordered
+
+    def __len__(self) -> int:
+        return len(self.first)
+
+    def __getitem__(self, index: int) -> "Comparison":
+        if isinstance(index, slice):
+            raise TypeError("ComparisonColumns does not support slicing")
+        weight = self.weights[index] if self.weights is not None else None
+        return Comparison(
+            self.ids[self.first[index]], self.ids[self.second[index]], weight=weight
+        )
+
+    def __iter__(self) -> Iterator["Comparison"]:
+        ids = self.ids
+        if self.weights is None:
+            for f, s in zip(self.first, self.second):
+                yield Comparison(ids[f], ids[s])
+        else:
+            for f, s, w in zip(self.first, self.second, self.weights):
+                yield Comparison(ids[f], ids[s], weight=w)
+
+    def pair(self, index: int) -> Tuple[str, str]:
+        """The canonical identifier pair of row ``index`` (no object built)."""
+        return (self.ids[self.first[index]], self.ids[self.second[index]])
+
+    def pairs(self) -> Set[Tuple[str, str]]:
+        """The distinct canonical pairs of all rows, as a set."""
+        ids = self.ids
+        return {(ids[f], ids[s]) for f, s in zip(self.first, self.second)}
+
+    # ------------------------------------------------------------------
+    def _ranks(self) -> Sequence[int]:
+        """Rank of every ordinal in the lexicographic order of its identifier.
+
+        Comparing ranks is equivalent to comparing the identifier strings,
+        which lets the ordering passes below break weight ties exactly like
+        a sort over ``(comparison.first, comparison.second)``.
+        """
+        ids = self.ids
+        if _np is not None:
+            rank = _np.empty(len(ids), dtype=_np.int64)
+            rank[_np.argsort(_np.array(ids))] = _np.arange(len(ids), dtype=_np.int64)
+            return rank
+        rank = [0] * len(ids)
+        for position, ordinal in enumerate(sorted(range(len(ids)), key=ids.__getitem__)):
+            rank[ordinal] = position
+        return rank
+
+    def weight_sorted(self) -> "ComparisonColumns":
+        """A copy ordered by ``(-weight, first, second)`` -- heaviest first.
+
+        The exact order of ``MetaBlocking.weighted_comparisons`` and of
+        :class:`~repro.progressive.schedulers.WeightOrderScheduler`:
+        descending weight, ties broken by the canonical identifier pair
+        (missing weights sort last).  NumPy runs one ``lexsort`` over the
+        rank and weight columns; the fallback sorts row indices with the
+        equivalent key.  Both orders are identical.
+        """
+        n = len(self)
+        if n <= 1 or self.weight_ordered:
+            return self
+        rank = self._ranks()
+        if _np is not None:
+            first = _np.frombuffer(self.first, dtype=_np.int64)
+            second = _np.frombuffer(self.second, dtype=_np.int64)
+            if self.weights is None:
+                order = _np.lexsort((rank[second], rank[first]))
+            else:
+                weights = _np.frombuffer(self.weights, dtype=_np.float64)
+                order = _np.lexsort((rank[second], rank[first], -weights))
+            sorted_first = array("q", first[order].tobytes())
+            sorted_second = array("q", second[order].tobytes())
+            sorted_weights = None
+            if self.weights is not None:
+                sorted_weights = array("d", weights[order].tobytes())
+        else:
+            first = self.first
+            second = self.second
+            weights = self.weights
+            if weights is None:
+                indices = sorted(
+                    range(n), key=lambda i: (rank[first[i]], rank[second[i]])
+                )
+            else:
+                indices = sorted(
+                    range(n),
+                    key=lambda i: (-weights[i], rank[first[i]], rank[second[i]]),
+                )
+            sorted_first = array("q", (first[i] for i in indices))
+            sorted_second = array("q", (second[i] for i in indices))
+            sorted_weights = (
+                array("d", (weights[i] for i in indices)) if weights is not None else None
+            )
+        return ComparisonColumns(
+            self.ids,
+            sorted_first,
+            sorted_second,
+            sorted_weights,
+            descriptions=self.descriptions,
+            distinct=self.distinct,
+            weight_ordered=True,
+        )
+
+    def deduplicated(self) -> "ComparisonColumns":
+        """A copy keeping the first occurrence of every pair (input order).
+
+        The columnar analogue of
+        :func:`repro.progressive.schedulers.candidate_comparisons` over a
+        comparison sequence.  A pass-through (returns ``self``) when the
+        rows are already known to be distinct or too few to repeat.
+        """
+        if self.distinct or len(self) <= 1:
+            return self
+        seen: Set[int] = set()
+        add = seen.add
+        keep: List[int] = []
+        for index, (f, s) in enumerate(zip(self.first, self.second)):
+            code = pair_code(f, s)
+            if code in seen:
+                continue
+            add(code)
+            keep.append(index)
+        if len(keep) == len(self):
+            kept = (self.first, self.second, self.weights)
+        else:
+            kept = (
+                array("q", (self.first[i] for i in keep)),
+                array("q", (self.second[i] for i in keep)),
+                array("d", (self.weights[i] for i in keep))
+                if self.weights is not None
+                else None,
+            )
+        return ComparisonColumns(
+            self.ids,
+            kept[0],
+            kept[1],
+            kept[2],
+            descriptions=self.descriptions,
+            distinct=True,
+            weight_ordered=self.weight_ordered,
+        )
+
+    def __repr__(self) -> str:
+        weighted = "weighted" if self.weights is not None else "unweighted"
+        return f"ComparisonColumns({len(self)} comparisons, {len(self.ids)} ids, {weighted})"
 
 
 class ComparisonCounter:

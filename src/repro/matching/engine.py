@@ -101,6 +101,13 @@ class MatchingEngine:
         importable) or forbid (``False``) the vectorised scoring path;
         ``None`` uses NumPy whenever importable.  Both paths are
         bit-identical.
+    context:
+        Optional shared :class:`~repro.core.context.PipelineContext`.  When
+        given, the engine's profile store is backed by the context: profiles
+        of descriptions the context owns are built from its interned columns
+        (zero re-tokenisation), and transient descriptions (merges) fall
+        back to tokenising into the shared vocabulary.  Decisions are
+        bit-identical with or without a context.
 
     Notes
     -----
@@ -115,6 +122,7 @@ class MatchingEngine:
         matcher: Matcher,
         engine: str = "batch",
         use_numpy: Optional[bool] = None,
+        context=None,
     ) -> None:
         if engine not in MATCHING_ENGINES:
             raise ValueError(f"unknown engine {engine!r}; available: {MATCHING_ENGINES}")
@@ -125,6 +133,7 @@ class MatchingEngine:
             )
         self.matcher = matcher
         self.engine = engine
+        self.context = context
         self._use_numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
         self._store: Optional[ProfileStore] = None
         self._store_source: Optional[object] = None
@@ -156,12 +165,20 @@ class MatchingEngine:
     def _store_for(self, source: Optional[object]) -> ProfileStore:
         if self._store is None or (source is not None and source is not self._store_source):
             matcher = self.matcher
+            # the shared pipeline context backs the store only for data it
+            # actually owns (or for explicit pairs, which the update phase
+            # resolves against the context's collection); a foreign
+            # collection gets a plain per-engine store
+            context = self.context
+            if context is not None and source is not None and not context.owns(source):
+                context = None
             if matcher.vectorizer is not None:
-                self._store = ProfileStore(vectorizer=matcher.vectorizer)
+                self._store = ProfileStore(vectorizer=matcher.vectorizer, context=context)
             else:
                 self._store = ProfileStore(
                     stop_words=matcher.stop_words,
                     min_token_length=matcher.min_token_length,
+                    context=context,
                 )
             self._store_source = source
         return self._store

@@ -30,11 +30,12 @@ The output can be consumed in three forms:
 
 from __future__ import annotations
 
+from array import array
 from typing import Iterator, List, Optional, Tuple, Union
 
 from repro.blocking.base import Block, BlockCollection
 from repro.datamodel.collection import CleanCleanTask
-from repro.datamodel.pairs import Comparison
+from repro.datamodel.pairs import Comparison, ComparisonColumns, OrdinalInterner
 from repro.metablocking.entity_index import EntityIndexEngine
 from repro.metablocking.graph import BlockingGraph, WeightedEdge
 from repro.metablocking.pruning import (
@@ -181,6 +182,51 @@ class MetaBlocking:
         edges = self.retained_edges(blocks)
         edges.sort(key=lambda e: (-e.weight, e.first, e.second))
         return [edge.as_comparison() for edge in edges]
+
+    def weighted_columns(
+        self, blocks: BlockCollection, context=None
+    ) -> ComparisonColumns:
+        """The retained edges as :class:`ComparisonColumns`, heaviest first.
+
+        Row-for-row the same comparisons, in the same order (including the
+        identifier tie-break at equal weights), as
+        :meth:`weighted_comparisons` -- but as flat ordinal/weight arrays
+        instead of per-edge objects, the natural input of the array
+        scheduling engine.  With a shared ``context`` the ordinal space is
+        the context's (and the columns carry its resolved description
+        table); otherwise identifiers are interned locally.
+        """
+        first = array("q")
+        second = array("q")
+        weights = array("d")
+        if context is not None:
+            ids = context.ids
+            ordinal_of = context.ordinal
+            descriptions = context.descriptions
+            for edge in self.iter_retained(blocks):
+                left = ordinal_of(edge.first)
+                right = ordinal_of(edge.second)
+                if left is None or right is None:
+                    raise KeyError(
+                        "the supplied pipeline context does not cover identifier "
+                        f"{(edge.first if left is None else edge.second)!r}; it was "
+                        "built for a different collection than these blocks"
+                    )
+                first.append(left)
+                second.append(right)
+                weights.append(edge.weight)
+        else:
+            intern = OrdinalInterner()
+            ids = intern.ids
+            descriptions = None
+            for edge in self.iter_retained(blocks):
+                first.append(intern(edge.first))
+                second.append(intern(edge.second))
+                weights.append(edge.weight)
+        columns = ComparisonColumns(
+            ids, first, second, weights, descriptions=descriptions, distinct=True
+        )
+        return columns.weight_sorted()
 
     def process(
         self,

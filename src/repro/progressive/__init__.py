@@ -26,15 +26,50 @@ Schedulers implemented:
 :func:`~repro.progressive.runner.run_progressive` executes any scheduler
 against a matcher under a comparison budget and records the progressive
 recall curve.
+
+Scheduling engines
+------------------
+
+Like the blocking, meta-blocking and matching phases, scheduling executes
+behind a two-engine interface,
+:class:`~repro.progressive.engine.SchedulingEngine`:
+
+* ``engine="array"`` (the workflow default) runs the feedback-free library
+  schedulers -- weight-ordered, static-order, random-order, sorted-list and
+  progressive-block (with promotion disabled) -- over flat ordinal/weight
+  arrays: meta-blocking hands its retained edges over as
+  :class:`~repro.datamodel.pairs.ComparisonColumns` (one identifier table
+  plus ``(first, second, weight)`` columns), ordering is one argsort or a
+  lazy row generator, a comparison budget becomes a slice of the ordered
+  rows, and :func:`~repro.progressive.runner.run_progressive` feeds the
+  drawn rows straight into
+  :meth:`~repro.matching.engine.MatchingEngine.decide_pairs` without ever
+  materialising scheduled ``Comparison`` objects.
+* ``engine="object"`` delegates to the scheduler's own ``schedule``
+  generator -- the readable reference implementation and the oracle of the
+  equivalence suite (``tests/test_scheduling_engine.py``).
+
+**Fallback rules.**  Adaptive schedulers (progressive sorted neighbourhood,
+the cost--benefit scheduler, progressive blocking with match promotion),
+custom :class:`~repro.progressive.schedulers.ProgressiveScheduler`
+implementations and subclasses of the native types always run on the object
+path, whatever engine is configured: their order may depend on match
+feedback or overridden behaviour that an up-front array order cannot
+represent.  Both engines produce bit-identical schedules -- the same
+comparisons in the same order (including order under weight ties), hence
+the same matches and the same progressive recall curve -- so swapping them
+never changes a workflow's output, only its speed.
 """
 
 from repro.progressive.budget import Budget
+from repro.progressive.engine import ScheduledRows, SchedulingEngine
 from repro.progressive.hierarchy import PartitionHierarchyScheduler
 from repro.progressive.psnm import ProgressiveBlockScheduler, ProgressiveSortedNeighborhood
 from repro.progressive.runner import ProgressiveResult, run_progressive
 from repro.progressive.schedulers import (
     ProgressiveScheduler,
     RandomOrderScheduler,
+    StaticOrderScheduler,
     WeightOrderScheduler,
 )
 from repro.progressive.scheduler import CostBenefitScheduler
@@ -49,7 +84,10 @@ __all__ = [
     "ProgressiveScheduler",
     "ProgressiveSortedNeighborhood",
     "RandomOrderScheduler",
+    "ScheduledRows",
+    "SchedulingEngine",
     "SortedListScheduler",
+    "StaticOrderScheduler",
     "WeightOrderScheduler",
     "run_progressive",
 ]

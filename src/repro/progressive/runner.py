@@ -32,6 +32,7 @@ from repro.evaluation.curves import ProgressiveRecallCurve
 from repro.matching.engine import MatchingEngine
 from repro.matching.matchers import DecisionList, MatchDecision, Matcher
 from repro.progressive.budget import Budget
+from repro.progressive.engine import ScheduledRows, SchedulingEngine
 from repro.progressive.schedulers import CandidateSource, ERInput, ProgressiveScheduler
 
 #: Comparisons drawn per scheduler drain when batch execution applies.
@@ -78,6 +79,7 @@ def run_progressive(
     keep_decisions: bool = False,
     engine: Union[str, MatchingEngine] = "batch",
     batch_size: int = DEFAULT_BATCH_SIZE,
+    scheduling: Union[str, SchedulingEngine, None] = None,
 ) -> ProgressiveResult:
     """Run ``scheduler`` against ``matcher`` until the budget is exhausted.
 
@@ -109,6 +111,15 @@ def run_progressive(
         How many comparisons are drawn per scheduler drain when batch
         execution applies.  Schedulers that adapt to feedback are always
         drained one comparison at a time, whatever this value.
+    scheduling:
+        ``None`` (default -- the scheduler's own ``schedule`` generator runs,
+        the historical behaviour), ``"array"``/``"object"`` or a ready-made
+        :class:`~repro.progressive.engine.SchedulingEngine` wrapping
+        ``scheduler``.  The array engine executes feedback-free library
+        schedulers over flat ordinal rows, draining them straight into
+        :meth:`MatchingEngine.decide_pairs` without materialising scheduled
+        ``Comparison`` objects; the schedule -- and hence every decision,
+        match and curve point -- is bit-identical either way.
     """
     if budget is None:
         budget_obj = Budget(None)
@@ -165,38 +176,91 @@ def run_progressive(
 
     # batch drains are only sound when the scheduler ignores feedback: an
     # adaptive scheduler's next draw may depend on the previous decision
-    scheduled = scheduler.schedule(data, candidates)
-    adaptive = type(scheduler).feedback is not ProgressiveScheduler.feedback
+    rows: Optional[ScheduledRows] = None
+    if scheduling is not None:
+        if isinstance(scheduling, SchedulingEngine):
+            if scheduling.scheduler is not scheduler:
+                raise ValueError(
+                    "the SchedulingEngine passed as `scheduling` wraps a different "
+                    "scheduler than the `scheduler` argument; the schedule would "
+                    "silently come from the engine's scheduler"
+                )
+        else:
+            scheduling = SchedulingEngine(scheduler, engine=scheduling)
+        adaptive = not scheduling.feedback_free
+        rows = scheduling.schedule_rows(data, candidates)
+        scheduled = rows.comparisons() if rows is not None else scheduler.schedule(data, candidates)
+    else:
+        adaptive = type(scheduler).feedback is not ProgressiveScheduler.feedback
+        scheduled = scheduler.schedule(data, candidates)
+
     if executor.batch_applicable and not adaptive and batch_size > 1:
         # the batch path only runs for a fixed-cost ProfileSimilarityMatcher,
         # so a draw never needs to exceed what the remaining budget can charge
         cost = matcher.cost
-        while True:
+
+        # both schedule shapes drain through the same loop below; they only
+        # differ in how a drawn element resolves to a (first, second) pair.
+        # Each resolved triple carries the scheduled Comparison, or None for
+        # array rows (which never materialise one -- the decision's own
+        # comparison is used instead).
+        if rows is not None:
+            # array schedule: the ordinal rows feed decide_pairs directly,
+            # and the budget bounds each draw to the slice of the row
+            # arrays it can afford
+            ids = rows.ids
+            descriptions = rows.descriptions
+            row_iter = rows.rows
+
+            def resolve_draw(draw: int):
+                drawn = 0
+                resolved = []
+                for f, s, _weight in islice(row_iter, draw):
+                    drawn += 1
+                    if descriptions is not None:
+                        first = descriptions[f]
+                        second = descriptions[s]
+                    else:
+                        first = data.get(ids[f])
+                        second = data.get(ids[s])
+                    if first is None or second is None:
+                        id_a, id_b = ids[f], ids[s]
+                        skips.record_skip((id_a, id_b) if id_a < id_b else (id_b, id_a))
+                        continue
+                    resolved.append((None, first, second))
+                return drawn, resolved
+
+        else:
+
+            def resolve_draw(draw: int):
+                drawn = 0
+                resolved = []
+                for comparison in islice(scheduled, draw):
+                    drawn += 1
+                    first = data.get(comparison.first)
+                    second = data.get(comparison.second)
+                    if first is None or second is None:
+                        skips.record_skip(comparison.pair)
+                        continue
+                    resolved.append((comparison, first, second))
+                return drawn, resolved
+
+        exhausted = False
+        while not exhausted:
             draw = batch_size
             if budget_obj.total is not None and cost > 0:
                 remaining = budget_obj.remaining
                 if remaining < cost:
                     break
                 draw = min(batch_size, int(remaining / cost) + 1)
-            chunk = list(islice(scheduled, draw))
-            if not chunk:
+            drawn, resolved = resolve_draw(draw)
+            if not drawn:
                 break
-            resolved = []
-            for comparison in chunk:
-                first = data.get(comparison.first)
-                second = data.get(comparison.second)
-                if first is None or second is None:
-                    skips.record_skip(comparison.pair)
-                    continue
-                resolved.append((comparison, first, second))
             decisions = executor.decide_pairs([(f, s) for _, f, s in resolved])
-            exhausted = False
             for (comparison, _, _), decision in zip(resolved, decisions):
-                if not process(comparison, decision):
+                if not process(comparison or decision.comparison, decision):
                     exhausted = True
                     break
-            if exhausted:
-                break
     else:
         for comparison in scheduled:
             first = data.get(comparison.first)

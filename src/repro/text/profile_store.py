@@ -36,6 +36,7 @@ vectorised scoring passes of :class:`~repro.matching.engine.MatchingEngine`.
 
 from __future__ import annotations
 
+import math
 from array import array
 from typing import Dict, Iterable, List, Optional, Tuple
 
@@ -163,6 +164,17 @@ class ProfileStore:
         pairwise matcher ignores them when a vectoriser is present).
     vectorizer:
         Optional fitted :class:`~repro.text.vectorizer.TfIdfVectorizer`.
+    context:
+        Optional shared :class:`~repro.core.context.PipelineContext`.  When
+        given, the store delegates token interning to the context's
+        vocabulary and builds the profile of every description the context
+        owns straight from the interned columns -- no re-tokenisation, same
+        floats (counts and document frequencies are exact integers, the
+        weight/norm arithmetic is the very expression of
+        ``TfIdfVectorizer.transform`` and :func:`~repro.text.vectorizer.l2_norm`).
+        Descriptions outside the context (e.g. transient merged descriptions
+        of the update phase, or a replaced object reusing a known
+        identifier) transparently take the tokenising path.
     """
 
     def __init__(
@@ -170,12 +182,17 @@ class ProfileStore:
         stop_words: Optional[Iterable[str]] = None,
         min_token_length: int = 1,
         vectorizer: Optional[TfIdfVectorizer] = None,
+        context=None,
     ) -> None:
         self.stop_words = frozenset(stop_words) if stop_words else frozenset()
         self.min_token_length = min_token_length
         self.vectorizer = vectorizer
+        self.context = context
         self._token_ids: Dict[str, int] = {}
         self._tokens: List[str] = []
+        #: token id -> idf weight column of the configured vectorizer,
+        #: extended lazily (context mode only)
+        self._idf: array = array("d")
         #: identifier -> (source description, profile); the source reference
         #: detects stale entries when a new object reuses an identifier
         self._profiles: Dict[str, Tuple[EntityDescription, Profile]] = {}
@@ -187,6 +204,8 @@ class ProfileStore:
     # ------------------------------------------------------------------
     def intern(self, token: str) -> int:
         """Return the dense integer id of ``token``, assigning one if new."""
+        if self.context is not None:
+            return self.context.intern(token)
         token_id = self._token_ids.get(token)
         if token_id is None:
             token_id = len(self._tokens)
@@ -196,10 +215,14 @@ class ProfileStore:
 
     def token(self, token_id: int) -> str:
         """Inverse of :meth:`intern`."""
+        if self.context is not None:
+            return self.context.token(token_id)
         return self._tokens[token_id]
 
     @property
     def vocabulary_size(self) -> int:
+        if self.context is not None:
+            return self.context.vocabulary_size
         return len(self._tokens)
 
     @property
@@ -243,6 +266,11 @@ class ProfileStore:
 
     # ------------------------------------------------------------------
     def _build(self, description: EntityDescription) -> Profile:
+        context = self.context
+        if context is not None:
+            ordinal = context.ordinal(description.identifier)
+            if ordinal is not None and context.description(ordinal) is description:
+                return self._build_from_context(context, ordinal, description.identifier)
         if self.vectorizer is None:
             tokens = token_set(
                 description.values(),
@@ -265,3 +293,51 @@ class ProfileStore:
         ids = array("q", (token_id for token_id, _ in weighted))
         weights = array("d", (weight for _, weight in weighted))
         return Profile(description.identifier, ids, weights, vector.norm)
+
+    def _build_from_context(self, context, ordinal: int, identifier: str) -> Profile:
+        """Build a profile from the context's interned columns (no tokenisation).
+
+        Bit-identity with the tokenising path: the set-mode ids are the same
+        filtered distinct tokens; the TF-IDF weights apply the exact
+        term-frequency expression of ``TfIdfVectorizer.transform`` to the
+        exact integer counts the transform would derive, and the norm goes
+        through :func:`math.fsum` (exactly rounded, accumulation-order
+        independent) like :func:`~repro.text.vectorizer.l2_norm`.
+        """
+        vectorizer = self.vectorizer
+        if vectorizer is None:
+            token_filter = context.token_filter(self.stop_words, self.min_token_length)
+            ids, _counts = context.token_counts(ordinal)
+            return Profile(identifier, token_filter.select(ids))
+
+        token_filter = context.token_filter(None, vectorizer.min_token_length)
+        ids, counts = context.token_counts(ordinal)
+        if not token_filter.trivial:
+            kept = [
+                (token_id, count)
+                for token_id, count in zip(ids, counts)
+                if token_filter.allows(token_id)
+            ]
+            ids = array("q", (t for t, _ in kept))
+            counts = array("q", (c for _, c in kept))
+        if not len(ids):
+            return Profile(identifier, array("q"))
+        idf = self._idf
+        vocabulary_size = context.vocabulary_size
+        if len(idf) < vocabulary_size:
+            token_of = context.token
+            idf_of = vectorizer.idf
+            idf.extend(
+                idf_of(token_of(token_id))
+                for token_id in range(len(idf), vocabulary_size)
+            )
+        max_count = max(counts)
+        weights = array(
+            "d",
+            (
+                (0.5 + 0.5 * count / max_count) * idf[token_id]
+                for token_id, count in zip(ids, counts)
+            ),
+        )
+        norm = math.sqrt(math.fsum(w * w for w in weights))
+        return Profile(identifier, ids, weights, norm)

@@ -128,6 +128,28 @@ class TfIdfVectorizer:
     # ------------------------------------------------------------------
     # fitting
     # ------------------------------------------------------------------
+    @classmethod
+    def from_document_frequencies(
+        cls,
+        document_frequency: Mapping[str, int],
+        num_documents: int,
+        min_token_length: int = 1,
+    ) -> "TfIdfVectorizer":
+        """A fitted vectoriser from precomputed document frequencies.
+
+        Used by :class:`~repro.core.context.PipelineContext` to fit from its
+        interned postings instead of a second tokenisation pass.  Because the
+        frequencies and the document count are exact integers, the resulting
+        ``idf`` values are bit-identical to a :meth:`fit` pass that counted
+        the same documents.
+        """
+        if num_documents < 0:
+            raise ValueError("num_documents must be non-negative")
+        vectorizer = cls(min_token_length=min_token_length)
+        vectorizer._document_frequency = dict(document_frequency)
+        vectorizer._num_documents = num_documents
+        return vectorizer
+
     def fit(self, descriptions: Iterable[EntityDescription]) -> "TfIdfVectorizer":
         """Count in how many descriptions each token appears."""
         for description in descriptions:

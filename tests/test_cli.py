@@ -121,7 +121,31 @@ def test_matching_engine_flag(tmp_path, capsys):
         assert main(["resolve", str(data), "--matching-engine", engine]) == 0
         out = capsys.readouterr().out
         assert f"engine={engine}" in out  # config.describe() names the engine
-        assert f"@{engine}" in out  # the report stage names the executing engine
+        # the matching stage reports scheduling+matching engines as
+        # "matching[<scheduler>@<scheduling engine>+<matching engine>]"
+        assert f"+{engine}]" in out
     assert build_parser().parse_args(["resolve", "x.csv"]).matching_engine == "batch"
     with pytest.raises(SystemExit):
         build_parser().parse_args(["resolve", "x.csv", "--matching-engine", "bogus"])
+
+
+def test_scheduling_engine_flag(tmp_path, capsys):
+    data = tmp_path / "dirty.csv"
+    main(["generate", "--entities", "30", "--seed", "7", "--output", str(data)])
+    for engine in ("array", "object"):
+        assert main(["resolve", str(data), "--scheduling-engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert f"engine={engine}" in out  # config.describe() names the engine
+        assert f"@{engine}+" in out  # the report stage names the executing engine
+    assert build_parser().parse_args(["resolve", "x.csv"]).scheduling_engine == "array"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["resolve", "x.csv", "--scheduling-engine", "bogus"])
+
+
+def test_no_shared_context_flag(tmp_path, capsys):
+    data = tmp_path / "dirty.csv"
+    main(["generate", "--entities", "30", "--seed", "7", "--output", str(data)])
+    assert main(["resolve", str(data)]) == 0
+    assert "shared-context" in capsys.readouterr().out
+    assert main(["resolve", str(data), "--no-shared-context"]) == 0
+    assert "shared-context" not in capsys.readouterr().out

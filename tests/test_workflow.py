@@ -114,3 +114,85 @@ class TestWorkflowExecution:
         workflow = default_workflow(scheduler=scheduler, budget=500)
         result = workflow.run(small_dirty_dataset.collection, small_dirty_dataset.ground_truth)
         assert result.comparisons_executed <= 500
+
+
+class TestBudgetedWorkflowRuns:
+    """Progressive-curve and comparison accounting through budgeted runs.
+
+    Exercises the full ``ERWorkflow.run`` path -- budget, ground truth and
+    merge iteration together -- on both scheduling engines, which must agree
+    on every number they report.
+    """
+
+    BUDGET = 120
+
+    @pytest.fixture(scope="class")
+    def budget_dataset(self):
+        return generate_dirty_dataset(
+            DatasetConfig(num_entities=80, duplicates_per_entity=1.6, seed=77)
+        )
+
+    @pytest.mark.parametrize("engine", ["array", "object"])
+    def test_budget_curve_and_accounting(self, budget_dataset, engine):
+        workflow = default_workflow(
+            budget=self.BUDGET,
+            scheduling_engine=engine,
+            iterate_merges=True,
+            match_threshold=0.5,
+        )
+        result = workflow.run(budget_dataset.collection, budget_dataset.ground_truth)
+
+        # the budget caps the scheduling+matching phase; merge iteration runs
+        # on top of it and its extra comparisons are accounted separately
+        matching = next(s for s in result.report if s.stage.startswith("matching["))
+        assert f"@{engine}+" in matching.stage
+        assert matching.metrics["comparisons"] <= self.BUDGET
+        extra = result.comparisons_executed - matching.metrics["comparisons"]
+        assert extra >= 0
+        if result.iterations:
+            update = next(s for s in result.report if s.stage == "update_iterate")
+            assert update.metrics["comparisons"] == extra
+
+        # the curve records exactly the budgeted comparisons, monotonically
+        curve = result.curve
+        assert curve is not None
+        assert curve.num_comparisons == matching.metrics["comparisons"]
+        history = curve.history()
+        assert history[0] == (0, 0)
+        assert all(
+            later[0] == earlier[0] + 1 and later[1] >= earlier[1]
+            for earlier, later in zip(history, history[1:])
+        )
+        assert 0.0 < curve.final_recall() <= 1.0
+        assert 0.0 < curve.auc() <= 1.0
+
+    def test_engines_agree_on_budgeted_runs(self, budget_dataset):
+        results = {}
+        for engine in ("array", "object"):
+            workflow = default_workflow(
+                budget=self.BUDGET,
+                scheduling_engine=engine,
+                iterate_merges=True,
+                match_threshold=0.5,
+            )
+            results[engine] = workflow.run(
+                budget_dataset.collection, budget_dataset.ground_truth
+            )
+        assert results["array"].matches == results["object"].matches
+        assert (
+            results["array"].comparisons_executed
+            == results["object"].comparisons_executed
+        )
+        assert results["array"].iterations == results["object"].iterations
+        assert results["array"].curve.history() == results["object"].curve.history()
+        assert results["array"].clusters == results["object"].clusters
+
+    @pytest.mark.parametrize("engine", ["array", "object"])
+    def test_unbudgeted_run_executes_all_candidates(self, budget_dataset, engine):
+        workflow = default_workflow(scheduling_engine=engine)
+        result = workflow.run(budget_dataset.collection, budget_dataset.ground_truth)
+        metablocking = next(
+            s for s in result.report if s.stage.startswith("metablocking[")
+        )
+        matching = next(s for s in result.report if s.stage.startswith("matching["))
+        assert matching.metrics["comparisons"] == metablocking.metrics["retained"]
