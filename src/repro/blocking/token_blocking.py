@@ -30,6 +30,7 @@ from typing import (
 )
 
 from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
+from repro.core.unionfind import UnionFind
 from repro.datamodel.collection import CleanCleanTask
 from repro.datamodel.description import EntityDescription
 from repro.text.similarity import jaccard_similarity
@@ -199,22 +200,11 @@ def cluster_attribute_profiles(
         best_match[name_a] = (best_name, best_score)
 
     # union-find over mutual links above the threshold
-    parent: Dict[str, str] = {name: name for name in names}
-
-    def find(x: str) -> str:
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-        return x
-
-    def union(a: str, b: str) -> None:
-        root_a, root_b = find(a), find(b)
-        if root_a != root_b:
-            parent[root_b] = root_a
+    links = UnionFind(names)
 
     for name_a, (name_b, score) in best_match.items():
         if name_b and score >= similarity_threshold:
-            union(name_a, name_b)
+            links.union(name_a, name_b)
 
     clusters: Dict[str, int] = {}
     glue_members = []
@@ -225,7 +215,7 @@ def cluster_attribute_profiles(
         if score < similarity_threshold:
             glue_members.append(name)
             continue
-        root = find(name)
+        root = links.find(name)
         if root not in roots:
             roots[root] = next_cluster
             next_cluster += 1

@@ -62,6 +62,8 @@ def _workflow_from_args(args: argparse.Namespace) -> ERWorkflow:
         budget=args.budget,
         match_threshold=args.threshold,
         iterate_merges=args.iterate,
+        clustering=args.clustering,
+        clustering_engine=args.clustering_engine,
         shared_context=not args.no_shared_context,
     )
     return ERWorkflow(config)
@@ -106,6 +108,19 @@ def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
         default="batch",
         choices=["batch", "pairwise"],
         help="comparison execution: batched columnar scoring (batch) or the per-pair oracle",
+    )
+    parser.add_argument(
+        "--clustering",
+        default="connected_components",
+        choices=["connected_components", "center", "merge_center"],
+        help="final clustering of the declared matches (default: connected_components)",
+    )
+    parser.add_argument(
+        "--clustering-engine",
+        default="array",
+        choices=["array", "object"],
+        help="clustering execution: integer union-find/argsort passes over decision "
+        "columns (array) or the algorithms' own string-keyed implementations (object)",
     )
     parser.add_argument(
         "--no-shared-context",

@@ -13,11 +13,14 @@ default for schema-free Web data.
 from repro.core.config import WorkflowConfig
 from repro.core.context import PipelineContext
 from repro.core.results import WorkflowResult
+from repro.core.unionfind import IntUnionFind, UnionFind
 from repro.core.workflow import ERWorkflow, default_workflow
 
 __all__ = [
     "ERWorkflow",
+    "IntUnionFind",
     "PipelineContext",
+    "UnionFind",
     "WorkflowConfig",
     "WorkflowResult",
     "default_workflow",

@@ -72,6 +72,14 @@ class WorkflowConfig:
     clustering:
         Final clustering: ``"connected_components"``, ``"center"`` or
         ``"merge_center"``.
+    clustering_engine:
+        Execution engine of the final clustering stage: ``"array"``
+        (default, integer union-find / argsort passes over decision
+        columns) or ``"object"`` (the clustering algorithms' own
+        string-keyed implementations).  Clusters are bit-identical --
+        including the heaviest-first tie order; custom clustering
+        algorithms fall back to the object path automatically.  See
+        :mod:`repro.matching.cluster_engine`.
     shared_context:
         Whether the workflow interns the input collection once into a shared
         :class:`~repro.core.context.PipelineContext` (default) and threads
@@ -99,6 +107,7 @@ class WorkflowConfig:
     iterate_merges: bool = False
     max_iterations: int = 3
     clustering: str = "connected_components"
+    clustering_engine: str = "array"
     shared_context: bool = True
 
     def describe(self) -> str:
@@ -119,7 +128,7 @@ class WorkflowConfig:
         )
         if self.iterate_merges:
             stages.append("iterative-merging")
-        stages.append(self.clustering)
+        stages.append(f"{self.clustering}(engine={self.clustering_engine})")
         budget = f", budget={self.budget}" if self.budget is not None else ""
         context = ", shared-context" if self.shared_context else ""
         return " -> ".join(stages) + budget + context

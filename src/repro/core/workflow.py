@@ -20,7 +20,7 @@ Finally the declared matches are clustered into equivalence clusters.
 from __future__ import annotations
 
 import time
-from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from repro.blocking.base import BlockBuilder, BlockCollection, ERInput
 from repro.blocking.cleaning import BlockFiltering, BlockPurging
@@ -36,11 +36,18 @@ from repro.blocking.token_blocking import (
 from repro.core.config import WorkflowConfig
 from repro.core.context import PipelineContext
 from repro.core.results import WorkflowResult
+from repro.core.unionfind import UnionFind
 from repro.datamodel.collection import CleanCleanTask, EntityCollection
 from repro.datamodel.description import merge_descriptions
 from repro.datamodel.ground_truth import GroundTruth
-from repro.datamodel.pairs import Comparison, ComparisonColumns
-from repro.evaluation.metrics import evaluate_blocks, evaluate_comparisons, evaluate_matches
+from repro.datamodel.pairs import Comparison, ComparisonColumns, DecisionColumns
+from repro.evaluation.metrics import (
+    cluster_spanning_pairs,
+    evaluate_blocks,
+    evaluate_comparisons,
+    evaluate_matches,
+)
+from repro.matching.cluster_engine import ClusteringEngine
 from repro.matching.clustering import (
     CenterClustering,
     ConnectedComponentsClustering,
@@ -240,7 +247,9 @@ class ERWorkflow:
             if isinstance(candidates, BlockCollection):
                 candidate_pairs = candidates.distinct_pairs()
             elif isinstance(candidates, ComparisonColumns):
-                candidate_pairs = candidates.pairs()
+                # columns are evaluated on the ordinal-coded fast path --
+                # no per-pair tuple is ever materialised
+                candidate_pairs = candidates
             else:
                 # a lazy candidate source would be exhausted by evaluating it
                 # here and then again by the scheduler: materialise it once
@@ -301,23 +310,27 @@ class ERWorkflow:
         # ---------------- clustering ----------------
         start = time.perf_counter()
         clustering = self._make_clustering()
-        from repro.matching.matchers import MatchDecision
-
-        decisions = [
-            MatchDecision(
-                comparison=Comparison(first, second), similarity=1.0, is_match=True
-            )
-            for first, second in result.matches
-        ]
-        result.clusters = clustering.cluster(decisions)
+        cluster_engine = ClusteringEngine(clustering, engine=config.clustering_engine)
+        # the declared matches become positive decision columns directly; on
+        # the array engine they are clustered as flat ordinals, and only a
+        # custom algorithm (object fallback) materialises decision objects
+        # through the columns' lazy bridge
+        result.clusters = cluster_engine.cluster(
+            DecisionColumns.from_match_pairs(result.matches)
+        )
         report.add_stage(
-            f"clustering[{clustering.name}]",
+            f"clustering[{clustering.name}@{cluster_engine.last_engine}]",
             clusters=len(result.clusters),
             seconds=time.perf_counter() - start,
         )
 
         if ground_truth is not None:
-            result.matching_quality = evaluate_matches(result.matched_pairs(), ground_truth)
+            # spanning pairs close to exactly the final clusters, so the
+            # metrics equal evaluating matched_pairs() without materialising
+            # the quadratic within-cluster pair set
+            result.matching_quality = evaluate_matches(
+                cluster_spanning_pairs(result.clusters), ground_truth
+            )
 
         return result
 
@@ -372,20 +385,9 @@ class ERWorkflow:
         iterations = 0
 
         # current cluster representative per identifier
-        parent: Dict[str, str] = {}
-
-        def find(x: str) -> str:
-            parent.setdefault(x, x)
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        def union(a: str, b: str) -> None:
-            parent[find(b)] = find(a)
-
+        clusters = UnionFind()
         for first, second in matches:
-            union(first, second)
+            clusters.union(first, second)
 
         if blocks is None:
             blocks = BlockingEngine(
@@ -432,14 +434,14 @@ class ERWorkflow:
                     # check may reach it, in the historical call order
                     decisions = [None] * len(candidates)
                 for index, (candidate_id, candidate) in enumerate(candidates):
-                    if find(candidate_id) == find(first):
+                    if clusters.connected(candidate_id, first):
                         continue
                     extra_comparisons += 1
                     decision = decisions[index]
                     if decision is None:
                         decision = engine.decide(merged, candidate)
                     if decision.is_match:
-                        union(first, candidate_id)
+                        clusters.union(first, candidate_id)
                         pair = (first, candidate_id)
                         found_this_round.append(pair)
             new_matches.extend(found_this_round)

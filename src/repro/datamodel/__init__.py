@@ -20,11 +20,18 @@ package provides the core containers shared by every other subsystem:
 from repro.datamodel.collection import CleanCleanTask, EntityCollection
 from repro.datamodel.description import EntityDescription, merge_descriptions
 from repro.datamodel.ground_truth import GroundTruth
-from repro.datamodel.pairs import Comparison, canonical_pair
+from repro.datamodel.pairs import (
+    Comparison,
+    ComparisonColumns,
+    DecisionColumns,
+    canonical_pair,
+)
 
 __all__ = [
     "CleanCleanTask",
     "Comparison",
+    "ComparisonColumns",
+    "DecisionColumns",
     "EntityCollection",
     "EntityDescription",
     "GroundTruth",

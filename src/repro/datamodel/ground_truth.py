@@ -21,6 +21,7 @@ class GroundTruth:
         self._cluster_of: Dict[str, int] = {}
         self._clusters: List[Set[str]] = []
         self._pairs: Optional[FrozenSet[Tuple[str, str]]] = None
+        self._num_matches: Optional[int] = None
         if clusters:
             for cluster in clusters:
                 self.add_cluster(cluster)
@@ -50,6 +51,7 @@ class GroundTruth:
             self._clusters[target].add(member)
             self._cluster_of[member] = target
         self._pairs = None
+        self._num_matches = None
 
     def add_match(self, first: str, second: str) -> None:
         """Declare a single matching pair (transitively closed with prior matches)."""
@@ -116,9 +118,40 @@ class GroundTruth:
                     return True
         return False
 
+    def cluster_index(self, identifier: str) -> int:
+        """Dense index of the cluster containing ``identifier`` (-1 if unknown).
+
+        Two known identifiers match exactly when their cluster indices are
+        equal; the columnar evaluation paths compare these integers instead
+        of probing a materialised pair set.  Merged identifiers (``"a+b"``)
+        are *not* resolved -- callers that may see them go through
+        :meth:`are_matches`.
+        """
+        index = self._cluster_of.get(identifier)
+        return -1 if index is None else index
+
+    def cluster_indices(self, identifiers: Iterable[str]) -> List[int]:
+        """Cluster index per identifier (-1 for unknown), in input order.
+
+        One dictionary lookup per identifier -- the ordinal-coded ground
+        truth the evaluation fast paths index by table ordinal, instead of
+        one tuple-set probe per candidate *pair*.
+        """
+        cluster_of = self._cluster_of
+        return [cluster_of.get(identifier, -1) for identifier in identifiers]
+
     def num_matches(self) -> int:
-        """Total number of matching pairs."""
-        return len(self.matching_pairs())
+        """Total number of matching pairs.
+
+        Clusters are disjoint, so the count is a cached closed form over
+        cluster sizes; the induced pair set is only materialised when a
+        caller asks for :meth:`matching_pairs` itself.
+        """
+        if self._num_matches is None:
+            self._num_matches = sum(
+                len(cluster) * (len(cluster) - 1) // 2 for cluster in self._clusters
+            )
+        return self._num_matches
 
     def identifiers(self) -> FrozenSet[str]:
         return frozenset(self._cluster_of)

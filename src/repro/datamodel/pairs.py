@@ -87,6 +87,24 @@ def pair_code(a: int, b: int) -> int:
     return (a << 32) | b if a < b else (b << 32) | a
 
 
+def identifier_ranks(ids: Sequence[str]) -> Sequence[int]:
+    """Rank of every ordinal in the lexicographic order of its identifier.
+
+    Comparing ranks is equivalent to comparing the identifier strings, which
+    lets columnar ordering passes (:meth:`ComparisonColumns.weight_sorted`,
+    the clustering engine's heaviest-first edge sort) break weight ties
+    exactly like a sort over the identifier pair itself.
+    """
+    if _np is not None:
+        rank = _np.empty(len(ids), dtype=_np.int64)
+        rank[_np.argsort(_np.array(ids))] = _np.arange(len(ids), dtype=_np.int64)
+        return rank
+    rank = [0] * len(ids)
+    for position, ordinal in enumerate(sorted(range(len(ids)), key=ids.__getitem__)):
+        rank[ordinal] = position
+    return rank
+
+
 class OrdinalInterner:
     """Assigns dense ordinals to identifiers in first-seen order.
 
@@ -214,21 +232,8 @@ class ComparisonColumns(Sequence):
 
     # ------------------------------------------------------------------
     def _ranks(self) -> Sequence[int]:
-        """Rank of every ordinal in the lexicographic order of its identifier.
-
-        Comparing ranks is equivalent to comparing the identifier strings,
-        which lets the ordering passes below break weight ties exactly like
-        a sort over ``(comparison.first, comparison.second)``.
-        """
-        ids = self.ids
-        if _np is not None:
-            rank = _np.empty(len(ids), dtype=_np.int64)
-            rank[_np.argsort(_np.array(ids))] = _np.arange(len(ids), dtype=_np.int64)
-            return rank
-        rank = [0] * len(ids)
-        for position, ordinal in enumerate(sorted(range(len(ids)), key=ids.__getitem__)):
-            rank[ordinal] = position
-        return rank
+        """Identifier ranks of this table (see :func:`identifier_ranks`)."""
+        return identifier_ranks(self.ids)
 
     def weight_sorted(self) -> "ComparisonColumns":
         """A copy ordered by ``(-weight, first, second)`` -- heaviest first.
@@ -327,6 +332,158 @@ class ComparisonColumns(Sequence):
     def __repr__(self) -> str:
         weighted = "weighted" if self.weights is not None else "unweighted"
         return f"ComparisonColumns({len(self)} comparisons, {len(self.ids)} ids, {weighted})"
+
+
+class DecisionColumns(Sequence):
+    """Match decisions as parallel ``(first, second, similarity, is_match)`` arrays.
+
+    The columnar counterpart of a ``List[MatchDecision]``: an identifier
+    table plus four flat columns.  The batched matching engine and the
+    progressive runner's array drain emit executed decisions in this form,
+    and the array clustering engine consumes it without ever materialising a
+    per-pair object -- while every consumer written against a sequence of
+    :class:`~repro.matching.matchers.MatchDecision` keeps working, because
+    iteration and indexing materialise bit-identical decision objects lazily
+    (the oracle bridge).
+
+    Attributes
+    ----------
+    ids:
+        Identifier table; ``first``/``second`` hold indices into it.  The
+        table may be shared with the producing schedule and may therefore
+        contain identifiers no decision references.
+    first, second:
+        ``array('q')`` ordinal columns, one entry per decision, stored in
+        the execution orientation (use :meth:`pair` for the canonical pair).
+    similarity:
+        Aligned ``array('d')`` of similarity scores.
+    is_match:
+        Aligned ``bytearray`` of 0/1 match flags.
+    cost:
+        Budget cost per decision (uniform across the columns, like the
+        fixed-cost matchers that emit them).
+    """
+
+    __slots__ = ("ids", "first", "second", "similarity", "is_match", "cost")
+
+    def __init__(
+        self,
+        ids: Sequence[str],
+        first: Optional[array] = None,
+        second: Optional[array] = None,
+        similarity: Optional[array] = None,
+        is_match: Optional[bytearray] = None,
+        cost: float = 1.0,
+    ) -> None:
+        self.ids = ids
+        self.first = first if first is not None else array("q")
+        self.second = second if second is not None else array("q")
+        self.similarity = similarity if similarity is not None else array("d")
+        self.is_match = is_match if is_match is not None else bytearray()
+        self.cost = cost
+        lengths = {len(self.first), len(self.second), len(self.similarity), len(self.is_match)}
+        if len(lengths) != 1:
+            raise ValueError("decision columns must have equal length")
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_decisions(
+        cls, decisions: Iterable["MatchDecision"], cost: float = 1.0
+    ) -> "DecisionColumns":
+        """Intern existing decision objects into columns (the bridge *in*)."""
+        intern = OrdinalInterner()
+        columns = cls(intern.ids, cost=cost)
+        for decision in decisions:
+            first, second = decision.pair
+            columns.append(
+                intern(first), intern(second), decision.similarity, decision.is_match
+            )
+        return columns
+
+    @classmethod
+    def from_match_pairs(
+        cls,
+        pairs: Iterable[Tuple[str, str]],
+        similarity: float = 1.0,
+        cost: float = 1.0,
+    ) -> "DecisionColumns":
+        """Columns declaring every identifier pair a match at ``similarity``.
+
+        The columnar analogue of the workflow tail's historical
+        ``[MatchDecision(Comparison(a, b), 1.0, True) for a, b in matches]``
+        list: pairs are canonicalised exactly like :class:`Comparison` would,
+        so the resulting columns feed clustering bit-identically.
+        """
+        intern = OrdinalInterner()
+        columns = cls(intern.ids, cost=cost)
+        for first, second in pairs:
+            if first > second:
+                first, second = second, first
+            elif first == second:
+                raise ValueError(
+                    f"a match decision requires two distinct descriptions, got {first!r} twice"
+                )
+            columns.append(intern(first), intern(second), similarity, True)
+        return columns
+
+    # ------------------------------------------------------------------
+    def append(self, first: int, second: int, similarity: float, is_match: bool) -> None:
+        """Record one executed decision as a row."""
+        self.first.append(first)
+        self.second.append(second)
+        self.similarity.append(similarity)
+        self.is_match.append(1 if is_match else 0)
+
+    def __len__(self) -> int:
+        return len(self.first)
+
+    def __getitem__(self, index: int) -> "MatchDecision":
+        if isinstance(index, slice):
+            raise TypeError("DecisionColumns does not support slicing")
+        # lazy import: matchers sits above the datamodel layer; the bridge
+        # only pays for it when somebody actually materialises a decision
+        from repro.matching.matchers import MatchDecision
+
+        return MatchDecision(
+            comparison=Comparison(self.ids[self.first[index]], self.ids[self.second[index]]),
+            similarity=self.similarity[index],
+            is_match=bool(self.is_match[index]),
+            cost=self.cost,
+        )
+
+    def __iter__(self) -> Iterator["MatchDecision"]:
+        for index in range(len(self.first)):
+            yield self[index]
+
+    # ------------------------------------------------------------------
+    def pair(self, index: int) -> Tuple[str, str]:
+        """The canonical identifier pair of row ``index`` (no object built)."""
+        first = self.ids[self.first[index]]
+        second = self.ids[self.second[index]]
+        return (first, second) if first < second else (second, first)
+
+    def pairs(self) -> Set[Tuple[str, str]]:
+        """The distinct canonical pairs of all rows, as a set."""
+        return {self.pair(index) for index in range(len(self.first))}
+
+    def matched_pairs(self) -> List[Tuple[str, str]]:
+        """Canonical pairs of the positive decisions, in row order."""
+        return [
+            self.pair(index)
+            for index, flag in enumerate(self.is_match)
+            if flag
+        ]
+
+    @property
+    def num_matches(self) -> int:
+        """Number of positive decisions."""
+        return sum(self.is_match)
+
+    def __repr__(self) -> str:
+        return (
+            f"DecisionColumns({len(self)} decisions, {self.num_matches} matches, "
+            f"{len(self.ids)} ids)"
+        )
 
 
 class ComparisonCounter:

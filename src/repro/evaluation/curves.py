@@ -9,6 +9,7 @@ comparison (or per batch) and computes the standard summary statistics.
 
 from __future__ import annotations
 
+import math
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.datamodel.ground_truth import GroundTruth
@@ -19,7 +20,9 @@ def area_under_curve(points: Sequence[Tuple[float, float]]) -> float:
     """Trapezoidal area under a curve given as ``(x, y)`` points with x in [0, 1].
 
     The points are sorted by x; the curve is extended horizontally to x=1 from
-    the last point and starts at (0, 0) if no point with x=0 is present.
+    the last point and starts at (0, 0) if no point with x=0 is present.  The
+    trapezoid areas are accumulated with :func:`math.fsum` (exactly rounded),
+    so the result does not drift with the number of curve points.
     """
     if not points:
         return 0.0
@@ -28,10 +31,10 @@ def area_under_curve(points: Sequence[Tuple[float, float]]) -> float:
         ordered.insert(0, (0.0, 0.0))
     if ordered[-1][0] < 1.0:
         ordered.append((1.0, ordered[-1][1]))
-    area = 0.0
-    for (x0, y0), (x1, y1) in zip(ordered, ordered[1:]):
-        area += (x1 - x0) * (y0 + y1) / 2.0
-    return area
+    return math.fsum(
+        (x1 - x0) * (y0 + y1) / 2.0
+        for (x0, y0), (x1, y1) in zip(ordered, ordered[1:])
+    )
 
 
 class ProgressiveRecallCurve:

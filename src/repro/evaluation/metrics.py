@@ -3,16 +3,38 @@
 The blocking metrics (PC, PQ, RR) follow the definitions used throughout the
 blocking literature the tutorial surveys; the matching metrics are standard
 pair-level precision/recall/F1 plus cluster-level variants.
+
+Every metric here is a ratio of exact integer counts, so the *values* never
+depend on how the counting is executed -- which is what allows two counting
+paths to coexist:
+
+* the readable tuple-set formulation over identifier pairs (any iterable of
+  ``Comparison`` objects or pair tuples);
+* an ordinal-coded fast path for columnar input
+  (:class:`~repro.datamodel.pairs.ComparisonColumns` /
+  :class:`~repro.datamodel.pairs.DecisionColumns`): the ground truth is
+  resolved once per table identifier (:meth:`GroundTruth.cluster_indices`),
+  candidate pairs deduplicate through packed integer codes, and
+  ``evaluate_matches`` closes the declared matches with the shared
+  :class:`~repro.core.unionfind.UnionFind` and counts induced pairs in
+  closed form instead of materialising one tuple per within-cluster pair.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Iterable, Optional, Set, Tuple, Union
+from typing import Dict, Iterable, Set, Tuple, Union
 
+from repro.core.unionfind import UnionFind
 from repro.datamodel.collection import CleanCleanTask, EntityCollection
 from repro.datamodel.ground_truth import GroundTruth
-from repro.datamodel.pairs import Comparison, canonical_pair
+from repro.datamodel.pairs import (
+    Comparison,
+    ComparisonColumns,
+    DecisionColumns,
+    canonical_pair,
+    pair_code,
+)
 from repro.blocking.base import BlockCollection
 
 
@@ -119,6 +141,15 @@ def _total_possible(data: Union[EntityCollection, CleanCleanTask, int, None], nu
 def _as_pair_set(
     comparisons: Iterable[Union[Comparison, Tuple[str, str]]],
 ) -> Set[Tuple[str, str]]:
+    """Distinct canonical pairs of any comparison source.
+
+    Columnar input short-circuits to the columns' own ``pairs()`` (canonical
+    tuples straight from the identifier table, no ``Comparison`` objects);
+    metric computations over columns avoid even that through
+    :func:`_count_detected_columns`.
+    """
+    if isinstance(comparisons, (ComparisonColumns, DecisionColumns)):
+        return comparisons.pairs()
     pairs: Set[Tuple[str, str]] = set()
     for item in comparisons:
         if isinstance(item, Comparison):
@@ -129,8 +160,42 @@ def _as_pair_set(
     return pairs
 
 
+def _count_detected_columns(
+    columns: Union[ComparisonColumns, DecisionColumns], ground_truth: GroundTruth
+) -> Tuple[int, int]:
+    """(distinct comparisons, detected matches) of columnar candidates.
+
+    The ground truth is resolved once per table identifier; each row then
+    costs two integer compares, and deduplication (skipped entirely for
+    columns flagged ``distinct``) runs on packed pair codes.  The counts --
+    and hence every derived metric -- equal the tuple-set formulation's
+    exactly.
+    """
+    cluster_index = ground_truth.cluster_indices(columns.ids)
+    detected = 0
+    if getattr(columns, "distinct", False):
+        for f, s in zip(columns.first, columns.second):
+            index = cluster_index[f]
+            if index >= 0 and index == cluster_index[s]:
+                detected += 1
+        return len(columns), detected
+    seen: Set[int] = set()
+    add = seen.add
+    for f, s in zip(columns.first, columns.second):
+        code = pair_code(f, s)
+        if code in seen:
+            continue
+        add(code)
+        index = cluster_index[f]
+        if index >= 0 and index == cluster_index[s]:
+            detected += 1
+    return len(seen), detected
+
+
 def evaluate_comparisons(
-    comparisons: Iterable[Union[Comparison, Tuple[str, str]]],
+    comparisons: Union[
+        ComparisonColumns, DecisionColumns, Iterable[Union[Comparison, Tuple[str, str]]]
+    ],
     ground_truth: GroundTruth,
     data: Union[EntityCollection, CleanCleanTask, int, None] = None,
 ) -> BlockingQuality:
@@ -139,7 +204,10 @@ def evaluate_comparisons(
     Parameters
     ----------
     comparisons:
-        The candidate pairs (``Comparison`` objects or identifier tuples).
+        The candidate pairs: ``Comparison`` objects, identifier tuples, or
+        columnar candidates (:class:`ComparisonColumns` /
+        :class:`DecisionColumns`), which are counted on the ordinal-coded
+        fast path without materialising any per-pair tuple.
     ground_truth:
         The known matches.
     data:
@@ -148,20 +216,23 @@ def evaluate_comparisons(
         ``None`` to skip RR (it is then computed against the candidate count
         itself and equals 0).
     """
-    pairs = _as_pair_set(comparisons)
-    true_pairs = ground_truth.matching_pairs()
-    detected = len(pairs & true_pairs)
-    total_matches = len(true_pairs)
-    total_possible = _total_possible(data, len(pairs))
+    if isinstance(comparisons, (ComparisonColumns, DecisionColumns)):
+        num_pairs, detected = _count_detected_columns(comparisons, ground_truth)
+    else:
+        pairs = _as_pair_set(comparisons)
+        detected = len(pairs & ground_truth.matching_pairs())
+        num_pairs = len(pairs)
+    total_matches = ground_truth.num_matches()
+    total_possible = _total_possible(data, num_pairs)
 
     pair_completeness = detected / total_matches if total_matches else 0.0
-    pairs_quality = detected / len(pairs) if pairs else 0.0
-    reduction_ratio = 1.0 - (len(pairs) / total_possible) if total_possible else 0.0
+    pairs_quality = detected / num_pairs if num_pairs else 0.0
+    reduction_ratio = 1.0 - (num_pairs / total_possible) if total_possible else 0.0
     return BlockingQuality(
         pair_completeness=pair_completeness,
         pairs_quality=pairs_quality,
         reduction_ratio=max(0.0, reduction_ratio),
-        num_comparisons=len(pairs),
+        num_comparisons=num_pairs,
         num_detected_matches=detected,
         num_total_matches=total_matches,
         total_possible_comparisons=total_possible,
@@ -177,8 +248,59 @@ def evaluate_blocks(
     return evaluate_comparisons(blocks.distinct_pairs(), ground_truth, data)
 
 
+def _declared_pair_source(
+    declared_matches: Union[
+        ComparisonColumns, DecisionColumns, Iterable[Union[Comparison, Tuple[str, str]]]
+    ],
+) -> Iterable[Tuple[str, str]]:
+    """Identifier pairs of a declared-match source, without per-pair objects.
+
+    :class:`DecisionColumns` contributes its *positive* rows (it is a
+    decision log, not a match list); :class:`ComparisonColumns` and plain
+    iterables contribute every pair.
+    """
+    if isinstance(declared_matches, DecisionColumns):
+        ids = declared_matches.ids
+        return (
+            (ids[f], ids[s])
+            for f, s, flag in zip(
+                declared_matches.first, declared_matches.second, declared_matches.is_match
+            )
+            if flag
+        )
+    if isinstance(declared_matches, ComparisonColumns):
+        ids = declared_matches.ids
+        return (
+            (ids[f], ids[s])
+            for f, s in zip(declared_matches.first, declared_matches.second)
+        )
+    return (
+        item.pair if isinstance(item, Comparison) else (item[0], item[1])
+        for item in declared_matches
+    )
+
+
+def cluster_spanning_pairs(
+    clusters: Iterable[Iterable[str]],
+) -> Iterable[Tuple[str, str]]:
+    """A linear-size pair set whose transitive closure is exactly ``clusters``.
+
+    Each cluster of *n* members contributes its *n - 1* spanning pairs
+    instead of all *n(n-1)/2* within-cluster pairs; since
+    :func:`evaluate_matches` closes its input transitively anyway, feeding it
+    spanning pairs yields bit-identical metrics to feeding it the full
+    quadratic pair set (``WorkflowResult.matched_pairs()``).
+    """
+    for cluster in clusters:
+        members = sorted(cluster)
+        for other in members[1:]:
+            yield (members[0], other)
+
+
 def evaluate_matches(
-    declared_matches: Iterable[Union[Comparison, Tuple[str, str]]],
+    declared_matches: Union[
+        ComparisonColumns, DecisionColumns, Iterable[Union[Comparison, Tuple[str, str]]]
+    ],
     ground_truth: GroundTruth,
 ) -> MatchingQuality:
     """Pair-level precision/recall of declared matches against the ground truth.
@@ -187,57 +309,50 @@ def evaluate_matches(
     (a, b) and (b, c) implies (a, c), since ER outputs are equivalence
     relations.  Merged identifiers (``"a+b"``) are expanded to their
     constituents.
+
+    Counting runs ordinal-coded throughout: the closure is one shared
+    :class:`~repro.core.unionfind.UnionFind` pass, the induced declared
+    pairs are counted in closed form per cluster (never materialised), and
+    the correct ones are counted by grouping each cluster's members on their
+    ground-truth cluster index -- so large clusters cost linear work where
+    the tuple-set formulation paid for every induced pair twice.
     """
-    truth_pairs = ground_truth.matching_pairs()
-
-    # transitive closure of declared matches via union-find
-    parent: dict = {}
-
-    def find(x: str) -> str:
-        parent.setdefault(x, x)
-        while parent[x] != x:
-            parent[x] = parent[parent[x]]
-            x = parent[x]
-        return x
-
-    def union(a: str, b: str) -> None:
-        root_a, root_b = find(a), find(b)
-        if root_a != root_b:
-            parent[root_b] = root_a
-
-    for item in declared_matches:
-        if isinstance(item, Comparison):
-            first, second = item.pair
-        else:
-            first, second = item
+    # transitive closure of declared matches
+    links = UnionFind()
+    union = links.union
+    for first, second in _declared_pair_source(declared_matches):
+        if "+" not in first and "+" not in second:
+            union(first, second)
+            continue
         # expand merged identifiers into their provenance
-        for left in first.split("+"):
-            for right in second.split("+"):
+        lefts = first.split("+")
+        rights = second.split("+")
+        for left in lefts:
+            for right in rights:
                 union(left, right)
         # constituents of the same merged id also match each other
-        for side in (first, second):
-            members = side.split("+")
-            for i in range(1, len(members)):
-                union(members[0], members[i])
+        for members in (lefts, rights):
+            for other in members[1:]:
+                union(members[0], other)
 
-    clusters: dict = {}
-    for identifier in parent:
-        clusters.setdefault(find(identifier), []).append(identifier)
+    declared = 0
+    correct = 0
+    for members in links.groups().values():
+        declared += len(members) * (len(members) - 1) // 2
+        truth_sizes: Dict[int, int] = {}
+        for member in members:
+            index = ground_truth.cluster_index(member)
+            if index >= 0:
+                truth_sizes[index] = truth_sizes.get(index, 0) + 1
+        correct += sum(size * (size - 1) // 2 for size in truth_sizes.values())
 
-    declared_pairs: Set[Tuple[str, str]] = set()
-    for members in clusters.values():
-        members.sort()
-        for i, first in enumerate(members):
-            for second in members[i + 1 :]:
-                declared_pairs.add(canonical_pair(first, second))
-
-    correct = len(declared_pairs & truth_pairs)
-    precision = correct / len(declared_pairs) if declared_pairs else 0.0
-    recall = correct / len(truth_pairs) if truth_pairs else 0.0
+    total_matches = ground_truth.num_matches()
+    precision = correct / declared if declared else 0.0
+    recall = correct / total_matches if total_matches else 0.0
     return MatchingQuality(
         precision=precision,
         recall=recall,
-        num_declared=len(declared_pairs),
+        num_declared=declared,
         num_correct=correct,
-        num_total_matches=len(truth_pairs),
+        num_total_matches=total_matches,
     )

@@ -26,6 +26,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.blocking.base import BlockCollection
+from repro.core.unionfind import UnionFind
 from repro.datamodel.collection import EntityCollection
 from repro.datamodel.description import EntityDescription
 from repro.datamodel.pairs import Comparison, canonical_pair
@@ -338,14 +339,7 @@ class AttributeOnlyER:
         else:
             candidate_pairs = {comparison.pair for comparison in candidates}
 
-        parent: Dict[str, str] = {}
-
-        def find(x: str) -> str:
-            parent.setdefault(x, x)
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
+        links = UnionFind()
 
         for first, second in sorted(candidate_pairs):
             if self.budget is not None and result.comparisons_executed >= self.budget:
@@ -358,10 +352,8 @@ class AttributeOnlyER:
             result.comparisons_executed += 1
             if score >= self.match_threshold:
                 result.matches.append((first, second))
-                parent[find(first)] = find(second)
+                # historical orientation: the root of ``second`` wins
+                links.union(second, first)
 
-        clusters: Dict[str, Set[str]] = {}
-        for identifier in parent:
-            clusters.setdefault(find(identifier), set()).add(identifier)
-        result.clusters = [frozenset(members) for members in clusters.values() if len(members) > 1]
+        result.clusters = links.clusters(min_size=2)
         return result

@@ -24,6 +24,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
+from repro.core.unionfind import UnionFind
 from repro.datamodel.collection import EntityCollection
 from repro.datamodel.description import EntityDescription, merge_descriptions
 from repro.matching.matchers import Matcher
@@ -74,7 +75,7 @@ class IncrementalResolver:
 
         self._descriptions: Dict[str, EntityDescription] = {}
         self._token_index: Dict[str, Set[str]] = {}  # token -> cluster roots
-        self._cluster_root: Dict[str, str] = {}  # original id -> root id
+        self._links = UnionFind()  # original id -> cluster root (shared union-find)
         self._cluster_members: Dict[str, Set[str]] = {}  # root -> original ids
         self._representation: Dict[str, EntityDescription] = {}  # root -> merged description
         self.comparisons_executed = 0
@@ -98,15 +99,15 @@ class IncrementalResolver:
         return [frozenset(m) for m in self._cluster_members.values() if len(m) > 1]
 
     def cluster_of(self, identifier: str) -> FrozenSet[str]:
-        root = self._cluster_root.get(identifier)
-        if root is None:
+        if identifier not in self._links:
             return frozenset()
-        return frozenset(self._cluster_members[root])
+        return frozenset(self._cluster_members[self._links.find(identifier)])
 
     def representation_of(self, identifier: str) -> Optional[EntityDescription]:
         """The current merged representation of the cluster containing ``identifier``."""
-        root = self._cluster_root.get(identifier)
-        return None if root is None else self._representation[root]
+        if identifier not in self._links:
+            return None
+        return self._representation[self._links.find(identifier)]
 
     # ------------------------------------------------------------------
     # resolution
@@ -135,8 +136,7 @@ class IncrementalResolver:
             self._representation[target_root], self._representation[source_root]
         )
         self._cluster_members[target_root].update(self._cluster_members.pop(source_root))
-        for member in self._cluster_members[target_root]:
-            self._cluster_root[member] = target_root
+        self._links.union(target_root, source_root)
         self._representation[target_root] = merged
         del self._representation[source_root]
         # re-point the token index entries of the absorbed root
@@ -157,7 +157,7 @@ class IncrementalResolver:
         # start as a singleton cluster
         root = description.identifier
         self._descriptions[description.identifier] = description
-        self._cluster_root[description.identifier] = root
+        self._links.find(root)  # register as its own root
         self._cluster_members[root] = {description.identifier}
         self._representation[root] = description
 

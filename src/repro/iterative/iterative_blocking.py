@@ -24,6 +24,7 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.blocking.base import BlockCollection
+from repro.core.unionfind import UnionFind
 from repro.datamodel.collection import EntityCollection
 from repro.datamodel.description import EntityDescription, merge_descriptions, provenance
 from repro.matching.matchers import Matcher
@@ -54,19 +55,13 @@ class _MergeState:
 
     def __init__(self, collection: EntityCollection) -> None:
         # representative (root) id per original id, and the merged description per root
-        self._root: Dict[str, str] = {d.identifier: d.identifier for d in collection}
+        self._links = UnionFind(d.identifier for d in collection)
         self._description: Dict[str, EntityDescription] = {
             d.identifier: d for d in collection
         }
 
     def root(self, identifier: str) -> str:
-        root = identifier
-        while self._root[root] != root:
-            root = self._root[root]
-        # path compression
-        while self._root[identifier] != root:
-            self._root[identifier], identifier = root, self._root[identifier]
-        return root
+        return self._links.find(identifier)
 
     def description(self, identifier: str) -> EntityDescription:
         return self._description[self.root(identifier)]
@@ -78,16 +73,13 @@ class _MergeState:
             return root_a
         merged = merge_descriptions(self._description[root_a], self._description[root_b])
         # the merged description becomes the representation of root_a
-        self._root[root_b] = root_a
+        self._links.union(root_a, root_b)
         self._description[root_a] = merged
         self._description.pop(root_b, None)
         return root_a
 
     def clusters(self) -> List[FrozenSet[str]]:
-        groups: Dict[str, Set[str]] = {}
-        for identifier in self._root:
-            groups.setdefault(self.root(identifier), set()).add(identifier)
-        return [frozenset(members) for members in groups.values()]
+        return self._links.clusters()
 
 
 class IterativeBlocking:
@@ -193,18 +185,7 @@ class IndependentBlockProcessing:
     ) -> IterativeBlockingResult:
         result = IterativeBlockingResult()
         # global clusters are only formed at the end by unioning per-block matches
-        parent: Dict[str, str] = {d.identifier: d.identifier for d in collection}
-
-        def find(x: str) -> str:
-            while parent[x] != x:
-                parent[x] = parent[parent[x]]
-                x = parent[x]
-            return x
-
-        def union(a: str, b: str) -> None:
-            root_a, root_b = find(a), find(b)
-            if root_a != root_b:
-                parent[root_b] = root_a
+        links = UnionFind(d.identifier for d in collection)
 
         for block in blocks:
             result.block_passes += 1
@@ -227,20 +208,17 @@ class IndependentBlockProcessing:
                             merged = merge_descriptions(local_state[root_a], local_state[root_b])
                             local_root[root_b] = root_a
                             local_state[root_a] = merged
-                            union(root_a.split("+")[0], root_b.split("+")[0])
+                            links.union(root_a.split("+")[0], root_b.split("+")[0])
                             for original_a in provenance(root_a):
                                 for original_b in provenance(root_b):
-                                    union(original_a, original_b)
+                                    links.union(original_a, original_b)
                             result.merges += 1
                             changed = True
                             break
                     if changed:
                         break
 
-        groups: Dict[str, Set[str]] = {}
-        for identifier in parent:
-            groups.setdefault(find(identifier), set()).add(identifier)
-        result.clusters = [frozenset(members) for members in groups.values() if len(members) > 1]
+        result.clusters = links.clusters(min_size=2)
         return result
 
 

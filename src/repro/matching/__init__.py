@@ -37,10 +37,28 @@ matcher -- :class:`~repro.matching.matchers.RuleBasedMatcher`,
 ``ProfileSimilarityMatcher`` *subclasses* (whose overridden similarity the
 columnar path cannot see).  Swapping engines therefore never changes a
 workflow's output, only its speed.
+
+The same split closes the pipeline tail.  On the batch path the engine can
+emit executed decisions straight into a columnar
+:class:`~repro.datamodel.pairs.DecisionColumns` (ordinal ``first``/``second``
+plus flat ``similarity``/``is_match`` arrays; decision objects materialise
+lazily as the oracle bridge), and
+:class:`~repro.matching.cluster_engine.ClusteringEngine`
+(``engine="array"``, the workflow default) clusters those columns with
+integer path-halving union--find and argsort passes -- bit-identical clusters
+to the object algorithms, including the heaviest-first tie order (descending
+similarity, ties in canonical identifier-pair order).  ``engine="object"``
+executes the :mod:`repro.matching.clustering` algorithms verbatim; custom
+:class:`~repro.matching.clustering.ClusteringAlgorithm` implementations --
+and subclasses of the three library algorithms -- always fall back to it,
+receiving lazily materialised decisions, so the engine is safe for any
+algorithm.
 """
 
+from repro.matching.cluster_engine import CLUSTERING_ENGINES, ClusteringEngine
 from repro.matching.clustering import (
     CenterClustering,
+    ClusteringAlgorithm,
     ConnectedComponentsClustering,
     MergeCenterClustering,
 )
@@ -58,7 +76,10 @@ from repro.matching.oracle import OracleMatcher
 
 __all__ = [
     "AttributeWeightedMatcher",
+    "CLUSTERING_ENGINES",
     "CenterClustering",
+    "ClusteringAlgorithm",
+    "ClusteringEngine",
     "ConnectedComponentsClustering",
     "DecisionList",
     "MATCHING_ENGINES",

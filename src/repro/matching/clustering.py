@@ -12,14 +12,32 @@ clusters.  Three classical algorithms are provided:
   centers.
 * :class:`MergeCenterClustering` -- like center clustering, but an edge
   between two existing centers merges their clusters.
+
+Tie-breaking
+------------
+Center and merge-center clustering scan edges *heaviest first*; edges of
+equal weight are ordered by the canonical identifier pair ``(first, second)``
+-- the same rule as
+:meth:`~repro.datamodel.pairs.ComparisonColumns.weight_sorted` and
+:class:`~repro.progressive.schedulers.WeightOrderScheduler`.  This order is
+part of the algorithms' contract (it decides which endpoint of a tied edge
+becomes a center) and is pinned by tests on both execution engines, so the
+clusters of a run are reproducible bit for bit.
+
+These classes are the readable *oracle* formulation over decision objects;
+:class:`~repro.matching.cluster_engine.ClusteringEngine` executes the same
+three algorithms over the flat ordinal columns of a
+:class:`~repro.datamodel.pairs.DecisionColumns` with integer union--find and
+argsort passes, falling back to the oracle for custom
+:class:`ClusteringAlgorithm` subclasses.
 """
 
 from __future__ import annotations
 
 import abc
-from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
 
-from repro.datamodel.pairs import Comparison
+from repro.core.unionfind import UnionFind
 from repro.matching.matchers import MatchDecision
 
 
@@ -46,7 +64,14 @@ class ClusteringAlgorithm(abc.ABC):
 
     @staticmethod
     def clusters_to_pairs(clusters: Iterable[FrozenSet[str]]) -> Set[Tuple[str, str]]:
-        """All matching pairs induced by the clusters (for evaluation)."""
+        """All matching pairs induced by the clusters (for evaluation).
+
+        Materialises one tuple per within-cluster pair -- quadratic in the
+        cluster size.  Callers that only need the *number* of induced pairs
+        (precision/recall denominators) should use
+        :meth:`count_cluster_pairs` instead, which is what the evaluation
+        fast paths do.
+        """
         pairs: Set[Tuple[str, str]] = set()
         for cluster in clusters:
             members = sorted(cluster)
@@ -55,6 +80,15 @@ class ClusteringAlgorithm(abc.ABC):
                     pairs.add((first, second))
         return pairs
 
+    @staticmethod
+    def count_cluster_pairs(clusters: Iterable[FrozenSet[str]]) -> int:
+        """Number of matching pairs induced by the clusters, without building them.
+
+        Equals ``len(clusters_to_pairs(clusters))`` for disjoint clusters, in
+        O(number of clusters) instead of O(total pairs).
+        """
+        return sum(len(cluster) * (len(cluster) - 1) // 2 for cluster in clusters)
+
 
 class ConnectedComponentsClustering(ClusteringAlgorithm):
     """Transitive closure of declared matches via union--find."""
@@ -62,29 +96,19 @@ class ConnectedComponentsClustering(ClusteringAlgorithm):
     name = "connected_components"
 
     def cluster(self, decisions: Iterable[MatchDecision]) -> List[FrozenSet[str]]:
-        parent: Dict[str, str] = {}
-
-        def find(x: str) -> str:
-            parent.setdefault(x, x)
-            root = x
-            while parent[root] != root:
-                root = parent[root]
-            while parent[x] != root:
-                parent[x], x = root, parent[x]
-            return root
-
-        def union(a: str, b: str) -> None:
-            root_a, root_b = find(a), find(b)
-            if root_a != root_b:
-                parent[root_b] = root_a
-
+        links = UnionFind()
         for first, second, _ in _as_weighted_pairs(decisions):
-            union(first, second)
+            links.union(first, second)
+        return links.clusters()
 
-        clusters: Dict[str, Set[str]] = {}
-        for identifier in parent:
-            clusters.setdefault(find(identifier), set()).add(identifier)
-        return [frozenset(members) for members in clusters.values()]
+
+def _edges_heaviest_first(
+    decisions: Iterable[MatchDecision],
+) -> List[Tuple[str, str, float]]:
+    """Positive edges in descending weight; ties in canonical pair order."""
+    edges = _as_weighted_pairs(decisions)
+    edges.sort(key=lambda e: (-e[2], e[0], e[1]))
+    return edges
 
 
 class CenterClustering(ClusteringAlgorithm):
@@ -93,13 +117,10 @@ class CenterClustering(ClusteringAlgorithm):
     name = "center"
 
     def cluster(self, decisions: Iterable[MatchDecision]) -> List[FrozenSet[str]]:
-        edges = _as_weighted_pairs(decisions)
-        edges.sort(key=lambda e: (-e[2], e[0], e[1]))
-
-        cluster_of: Dict[str, str] = {}  # node -> center
+        cluster_of: Dict[str, str] = {}  # node -> center, in assignment order
         is_center: Set[str] = set()
 
-        for first, second, _ in edges:
+        for first, second, _ in _edges_heaviest_first(decisions):
             assigned_first = first in cluster_of
             assigned_second = second in cluster_of
             if not assigned_first and not assigned_second:
@@ -134,46 +155,36 @@ class MergeCenterClustering(ClusteringAlgorithm):
     name = "merge_center"
 
     def cluster(self, decisions: Iterable[MatchDecision]) -> List[FrozenSet[str]]:
-        edges = _as_weighted_pairs(decisions)
-        edges.sort(key=lambda e: (-e[2], e[0], e[1]))
-
-        parent: Dict[str, str] = {}
+        links = UnionFind()
         is_center: Set[str] = set()
+        # dict-as-ordered-set: nodes in assignment order, so the final cluster
+        # list is deterministic (a plain set would enumerate in hash order)
+        assigned: Dict[str, None] = {}
 
-        def find(x: str) -> str:
-            parent.setdefault(x, x)
-            root = x
-            while parent[root] != root:
-                root = parent[root]
-            while parent[x] != root:
-                parent[x], x = root, parent[x]
-            return root
-
-        def union(a: str, b: str) -> None:
-            root_a, root_b = find(a), find(b)
-            if root_a != root_b:
-                parent[root_b] = root_a
-
-        assigned: Set[str] = set()
-        for first, second, _ in edges:
+        for first, second, _ in _edges_heaviest_first(decisions):
             assigned_first = first in assigned
             assigned_second = second in assigned
             if not assigned_first and not assigned_second:
                 is_center.add(first)
-                assigned.update((first, second))
-                union(first, second)
+                assigned[first] = None
+                assigned[second] = None
+                links.union(first, second)
             elif assigned_first and not assigned_second:
-                assigned.add(second)
-                union(first, second)
+                assigned[second] = None
+                links.union(first, second)
             elif assigned_second and not assigned_first:
-                assigned.add(first)
-                union(second, first)
+                assigned[first] = None
+                links.union(second, first)
             else:
                 # both assigned: merge only if both are centers
-                if find(first) != find(second) and first in is_center and second in is_center:
-                    union(first, second)
+                if (
+                    first in is_center
+                    and second in is_center
+                    and links.find(first) != links.find(second)
+                ):
+                    links.union(first, second)
 
         clusters: Dict[str, Set[str]] = {}
         for identifier in assigned:
-            clusters.setdefault(find(identifier), set()).add(identifier)
+            clusters.setdefault(links.find(identifier), set()).add(identifier)
         return [frozenset(members) for members in clusters.values()]

@@ -47,7 +47,7 @@ from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.datamodel.collection import CleanCleanTask, EntityCollection
 from repro.datamodel.description import EntityDescription
-from repro.datamodel.pairs import Comparison
+from repro.datamodel.pairs import Comparison, DecisionColumns, OrdinalInterner
 from repro.matching.matchers import (
     DecisionList,
     MatchDecision,
@@ -263,10 +263,7 @@ class MatchingEngine:
         if not self.batch_applicable:
             self.last_engine = "pairwise"
             return [self.matcher.decide(first, second) for first, second in pairs]
-        self.last_engine = "batch"
-        store = self._store_for(None)
-        profiles = [(store.profile(first), store.profile(second)) for first, second in pairs]
-        scores = self._score(store, profiles)
+        scores = self.similarity_scores(pairs)
         matcher = self.matcher
         threshold = matcher.threshold
         cost = matcher.cost
@@ -279,6 +276,61 @@ class MatchingEngine:
             )
             for (first, second), score in zip(pairs, scores)
         ]
+
+    def similarity_scores(
+        self,
+        pairs: Sequence[Tuple[EntityDescription, EntityDescription]],
+    ) -> List[float]:
+        """Raw similarity of explicit description pairs, in input order.
+
+        The object-free core of :meth:`decide_pairs`: the scores it returns
+        are exactly the ``similarity`` fields the decision objects would
+        carry, but nothing per-pair is materialised -- the progressive
+        runner's columnar drain feeds them straight into a
+        :class:`~repro.datamodel.pairs.DecisionColumns`.  Only valid on the
+        batch path (:attr:`batch_applicable`); matchers the batch engine
+        cannot replicate have no object-free formulation.
+        """
+        if not self.batch_applicable:
+            raise ValueError(
+                "similarity_scores requires the batch engine and a natively "
+                "supported matcher; use decide_pairs, which falls back to the "
+                "per-pair oracle"
+            )
+        self.last_engine = "batch"
+        store = self._store_for(None)
+        profiles = [(store.profile(first), store.profile(second)) for first, second in pairs]
+        return self._score(store, profiles)
+
+    def decide_columns(
+        self,
+        pairs: Sequence[Tuple[EntityDescription, EntityDescription]],
+    ) -> DecisionColumns:
+        """Decide explicit description pairs straight into decision columns.
+
+        The columnar sibling of :meth:`decide_pairs`: on the batch path the
+        ordinal/similarity/is_match arrays are emitted directly (zero
+        :class:`~repro.matching.matchers.MatchDecision` objects); matchers
+        the batch engine cannot replicate fall back to the per-pair oracle
+        and its decisions are interned into the same columnar form, so the
+        result is bit-identical either way (lazy materialisation through the
+        oracle bridge yields the very decisions ``decide_pairs`` returns).
+        """
+        cost = getattr(self.matcher, "cost", 1.0)
+        if not self.batch_applicable:
+            return DecisionColumns.from_decisions(self.decide_pairs(pairs), cost=cost)
+        scores = self.similarity_scores(pairs)
+        threshold = self.matcher.threshold
+        intern = OrdinalInterner()
+        columns = DecisionColumns(intern.ids, cost=cost)
+        for (first, second), score in zip(pairs, scores):
+            columns.append(
+                intern(first.identifier),
+                intern(second.identifier),
+                score,
+                score >= threshold,
+            )
+        return columns
 
     # ------------------------------------------------------------------
     # scoring passes

@@ -23,11 +23,11 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field
 from itertools import islice
-from typing import List, Optional, Set, Tuple, Union
+from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from repro.datamodel.collection import CleanCleanTask, EntityCollection
 from repro.datamodel.ground_truth import GroundTruth
-from repro.datamodel.pairs import Comparison
+from repro.datamodel.pairs import Comparison, DecisionColumns, pair_code
 from repro.evaluation.curves import ProgressiveRecallCurve
 from repro.matching.engine import MatchingEngine
 from repro.matching.matchers import DecisionList, MatchDecision, Matcher
@@ -37,6 +37,48 @@ from repro.progressive.schedulers import CandidateSource, ERInput, ProgressiveSc
 
 #: Comparisons drawn per scheduler drain when batch execution applies.
 DEFAULT_BATCH_SIZE = 512
+
+
+class _GroundTruthOrdinals:
+    """Ground-truth cluster index per schedule-table ordinal, resolved lazily.
+
+    The ordinal-coded fast path of the progressive recall curve: instead of
+    probing the ground truth with one identifier-pair lookup per executed
+    comparison, each table identifier is resolved to its cluster index once
+    (the table may still be growing -- interning schedulers register
+    identifiers as they stream -- so resolution is lazy), and a decision is
+    a true match exactly when both indices are equal and known.  Merged
+    identifiers (``"a+b"``), which carry provenance semantics, fall back to
+    :meth:`GroundTruth.are_matches` -- marked with a sentinel so the check
+    costs one comparison on the common path.
+    """
+
+    __slots__ = ("_truth", "_ids", "_index")
+
+    _MERGED = -2
+
+    def __init__(self, truth: GroundTruth, ids) -> None:
+        self._truth = truth
+        self._ids = ids
+        self._index: List[int] = []
+
+    def _cluster(self, ordinal: int) -> int:
+        index = self._index
+        ids = self._ids
+        while len(index) <= ordinal:
+            identifier = ids[len(index)]
+            if "+" in identifier:
+                index.append(self._MERGED)
+            else:
+                index.append(self._truth.cluster_index(identifier))
+        return index[ordinal]
+
+    def are_matches(self, first: int, second: int, pair: Tuple[str, str]) -> bool:
+        index_a = self._cluster(first)
+        index_b = self._cluster(second)
+        if index_a == self._MERGED or index_b == self._MERGED:
+            return self._truth.are_matches(*pair)
+        return index_a >= 0 and index_a == index_b
 
 
 @dataclass
@@ -49,7 +91,10 @@ class ProgressiveResult:
     true_matches_found: int = 0
     budget_spent: float = 0.0
     curve: Optional[ProgressiveRecallCurve] = None
-    decisions: List[MatchDecision] = field(default_factory=list)
+    #: executed decisions when ``keep_decisions`` is on: a plain list on the
+    #: object paths, a :class:`~repro.datamodel.pairs.DecisionColumns` (same
+    #: decisions, materialised lazily) on the columnar drain
+    decisions: Sequence[MatchDecision] = field(default_factory=list)
     #: scheduled comparisons dropped because an identifier did not resolve
     #: against the input data (also summarised by a RuntimeWarning)
     skipped_comparisons: int = 0
@@ -199,22 +244,40 @@ def run_progressive(
         # so a draw never needs to exceed what the remaining budget can charge
         cost = matcher.cost
 
-        # both schedule shapes drain through the same loop below; they only
-        # differ in how a drawn element resolves to a (first, second) pair.
-        # Each resolved triple carries the scheduled Comparison, or None for
-        # array rows (which never materialise one -- the decision's own
-        # comparison is used instead).
         if rows is not None:
-            # array schedule: the ordinal rows feed decide_pairs directly,
-            # and the budget bounds each draw to the slice of the row
-            # arrays it can afford
+            # ---------- columnar drain: zero per-pair objects ----------
+            # the ordinal rows feed the engine's raw scoring pass and every
+            # outcome lands straight in flat columns: no scheduled
+            # Comparison, no MatchDecision.  The schedule is feedback-free
+            # by construction (array schedules only exist for schedulers
+            # whose feedback hook provably never changes the order), so the
+            # per-decision callback of the object path is a no-op here and
+            # is skipped outright.
             ids = rows.ids
             descriptions = rows.descriptions
             row_iter = rows.rows
-
-            def resolve_draw(draw: int):
+            threshold = matcher.threshold
+            decisions_out: Optional[DecisionColumns] = None
+            if keep_decisions:
+                decisions_out = DecisionColumns(ids, cost=cost)
+                result.decisions = decisions_out
+            truth_ordinals = (
+                _GroundTruthOrdinals(ground_truth, ids)
+                if ground_truth is not None
+                else None
+            )
+            seen_codes: Set[int] = set()
+            exhausted = False
+            while not exhausted:
+                draw = batch_size
+                if budget_obj.total is not None and cost > 0:
+                    remaining = budget_obj.remaining
+                    if remaining < cost:
+                        break
+                    draw = min(batch_size, int(remaining / cost) + 1)
                 drawn = 0
-                resolved = []
+                ordinals: List[Tuple[int, int]] = []
+                profile_pairs = []
                 for f, s, _weight in islice(row_iter, draw):
                     drawn += 1
                     if descriptions is not None:
@@ -227,11 +290,36 @@ def run_progressive(
                         id_a, id_b = ids[f], ids[s]
                         skips.record_skip((id_a, id_b) if id_a < id_b else (id_b, id_a))
                         continue
-                    resolved.append((None, first, second))
-                return drawn, resolved
-
+                    ordinals.append((f, s))
+                    profile_pairs.append((first, second))
+                if not drawn:
+                    break
+                scores = executor.similarity_scores(profile_pairs)
+                for (f, s), score in zip(ordinals, scores):
+                    if not budget_obj.charge(cost):
+                        exhausted = True
+                        break
+                    result.comparisons_executed += 1
+                    is_match = score >= threshold
+                    if decisions_out is not None:
+                        decisions_out.append(f, s, score, is_match)
+                    is_true_match = False
+                    if is_match:
+                        id_a, id_b = ids[f], ids[s]
+                        pair = (id_a, id_b) if id_a < id_b else (id_b, id_a)
+                        result.declared_matches.append(pair)
+                        if truth_ordinals is not None:
+                            code = pair_code(f, s)
+                            if code not in seen_codes and truth_ordinals.are_matches(
+                                f, s, pair
+                            ):
+                                seen_codes.add(code)
+                                is_true_match = True
+                                result.true_matches_found += 1
+                    if curve is not None:
+                        curve.record(None, is_match=is_true_match)
         else:
-
+            # ---------- object drain: scheduled Comparison objects ----------
             def resolve_draw(draw: int):
                 drawn = 0
                 resolved = []
@@ -245,22 +333,22 @@ def run_progressive(
                     resolved.append((comparison, first, second))
                 return drawn, resolved
 
-        exhausted = False
-        while not exhausted:
-            draw = batch_size
-            if budget_obj.total is not None and cost > 0:
-                remaining = budget_obj.remaining
-                if remaining < cost:
+            exhausted = False
+            while not exhausted:
+                draw = batch_size
+                if budget_obj.total is not None and cost > 0:
+                    remaining = budget_obj.remaining
+                    if remaining < cost:
+                        break
+                    draw = min(batch_size, int(remaining / cost) + 1)
+                drawn, resolved = resolve_draw(draw)
+                if not drawn:
                     break
-                draw = min(batch_size, int(remaining / cost) + 1)
-            drawn, resolved = resolve_draw(draw)
-            if not drawn:
-                break
-            decisions = executor.decide_pairs([(f, s) for _, f, s in resolved])
-            for (comparison, _, _), decision in zip(resolved, decisions):
-                if not process(comparison or decision.comparison, decision):
-                    exhausted = True
-                    break
+                decisions = executor.decide_pairs([(f, s) for _, f, s in resolved])
+                for (comparison, _, _), decision in zip(resolved, decisions):
+                    if not process(comparison, decision):
+                        exhausted = True
+                        break
     else:
         for comparison in scheduled:
             first = data.get(comparison.first)

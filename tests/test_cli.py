@@ -149,3 +149,27 @@ def test_no_shared_context_flag(tmp_path, capsys):
     assert "shared-context" in capsys.readouterr().out
     assert main(["resolve", str(data), "--no-shared-context"]) == 0
     assert "shared-context" not in capsys.readouterr().out
+
+
+def test_clustering_engine_flag(tmp_path, capsys):
+    data = tmp_path / "dirty.csv"
+    main(["generate", "--entities", "30", "--seed", "7", "--output", str(data)])
+    for engine in ("array", "object"):
+        assert main(["resolve", str(data), "--clustering-engine", engine]) == 0
+        out = capsys.readouterr().out
+        assert f"engine={engine}" in out  # config.describe() names the engine
+        # the clustering stage reports "clustering[<algorithm>@<engine>]"
+        assert f"clustering[connected_components@{engine}]" in out
+    assert build_parser().parse_args(["resolve", "x.csv"]).clustering_engine == "array"
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["resolve", "x.csv", "--clustering-engine", "bogus"])
+
+
+def test_clustering_algorithm_flag(tmp_path, capsys):
+    data = tmp_path / "dirty.csv"
+    main(["generate", "--entities", "30", "--seed", "7", "--output", str(data)])
+    assert main(["resolve", str(data), "--clustering", "merge_center"]) == 0
+    out = capsys.readouterr().out
+    assert "clustering[merge_center@array]" in out
+    with pytest.raises(SystemExit):
+        build_parser().parse_args(["resolve", "x.csv", "--clustering", "bogus"])

@@ -94,3 +94,13 @@ def test_all_algorithms_cover_every_matched_identifier(algorithm):
     assert covered == {"a", "b", "c", "d", "e", "f", "z"}
     # clusters are disjoint
     assert sum(len(c) for c in clusters) == len(covered)
+
+
+def test_count_cluster_pairs_matches_materialised_pairs():
+    clusters = [frozenset({"a", "b", "c"}), frozenset({"x", "y"}), frozenset({"solo"})]
+    from repro.matching.clustering import ClusteringAlgorithm
+
+    assert ClusteringAlgorithm.count_cluster_pairs(clusters) == len(
+        ClusteringAlgorithm.clusters_to_pairs(clusters)
+    )
+    assert ClusteringAlgorithm.count_cluster_pairs([]) == 0

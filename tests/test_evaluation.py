@@ -155,3 +155,196 @@ class TestReports:
         assert "blocking" in text
         assert "token" in text and "standard" in text
         assert render_table([], title="empty") == "empty"
+
+
+class TestOrdinalFastPaths:
+    """Columnar/ordinal counting must equal the tuple-set formulation."""
+
+    def _random_case(self, seed):
+        import random
+
+        rng = random.Random(seed)
+        universe = [f"e{i}" for i in range(30)]
+        clusters, pool = [], universe[:]
+        rng.shuffle(pool)
+        while pool:
+            size = rng.randint(1, 4)
+            clusters.append([pool.pop() for _ in range(min(size, len(pool)))])
+        truth = GroundTruth([c for c in clusters if len(c) > 1])
+        pairs = []
+        for _ in range(60):
+            first, second = rng.sample(universe, 2)
+            pairs.append((first, second))
+        return truth, pairs
+
+    def test_evaluate_comparisons_columns_equal_tuple_path(self):
+        from repro.datamodel.pairs import Comparison, ComparisonColumns, OrdinalInterner
+        from array import array
+
+        for seed in (1, 7, 23):
+            truth, pairs = self._random_case(seed)
+            intern = OrdinalInterner()
+            first = array("q")
+            second = array("q")
+            for a, b in pairs:
+                if a > b:
+                    a, b = b, a
+                first.append(intern(a))
+                second.append(intern(b))
+            columns = ComparisonColumns(intern.ids, first, second)
+            via_columns = evaluate_comparisons(columns, truth, 500)
+            via_tuples = evaluate_comparisons(pairs, truth, 500)
+            assert via_columns == via_tuples
+
+    def test_evaluate_comparisons_distinct_columns_skip_dedup(self):
+        from repro.datamodel.pairs import ComparisonColumns, OrdinalInterner
+        from array import array
+
+        truth = GroundTruth([["a", "b"]])
+        intern = OrdinalInterner()
+        columns = ComparisonColumns(
+            intern.ids,
+            array("q", [intern("a")]),
+            array("q", [intern("b")]),
+            distinct=True,
+        )
+        quality = evaluate_comparisons(columns, truth, 10)
+        assert quality.num_comparisons == 1
+        assert quality.num_detected_matches == 1
+
+    def test_evaluate_matches_decision_columns_use_positive_rows(self):
+        from repro.datamodel.pairs import Comparison, DecisionColumns
+        from repro.matching.matchers import MatchDecision
+
+        truth = GroundTruth([["a", "b"], ["c", "d"]])
+        decisions = [
+            MatchDecision(Comparison("a", "b"), 0.9, True),
+            MatchDecision(Comparison("a", "c"), 0.8, True),
+            MatchDecision(Comparison("c", "d"), 0.3, False),  # negative: ignored
+        ]
+        columns = DecisionColumns.from_decisions(decisions)
+        via_columns = evaluate_matches(columns, truth)
+        via_pairs = evaluate_matches([("a", "b"), ("a", "c")], truth)
+        assert via_columns == via_pairs
+        assert via_columns.num_declared == 3  # closure of {a,b,c}
+        assert via_columns.num_correct == 1
+
+    def test_evaluate_matches_closure_equals_pair_set_reference(self):
+        """The closed-form counts equal an explicit pair-set computation."""
+        from repro.core.unionfind import UnionFind
+        from repro.datamodel.pairs import canonical_pair
+
+        for seed in (2, 9, 31):
+            truth, pairs = self._random_case(seed)
+            quality = evaluate_matches(pairs, truth)
+            # reference: seed formulation with explicit quadratic pair sets
+            links = UnionFind()
+            for a, b in pairs:
+                links.union(a, b)
+            declared = set()
+            for members in links.groups().values():
+                ordered = sorted(members)
+                for i, a in enumerate(ordered):
+                    for b in ordered[i + 1 :]:
+                        declared.add(canonical_pair(a, b))
+            correct = len(declared & truth.matching_pairs())
+            assert quality.num_declared == len(declared)
+            assert quality.num_correct == correct
+            assert quality.precision == (correct / len(declared) if declared else 0.0)
+            assert quality.recall == (
+                correct / len(truth.matching_pairs()) if truth.matching_pairs() else 0.0
+            )
+
+    def test_evaluate_matches_expands_merged_identifiers(self):
+        truth = GroundTruth([["a", "b", "c"]])
+        quality = evaluate_matches([("a+b", "c")], truth)
+        # expansion declares a-c, b-c and a-b: all three are correct
+        assert quality.num_declared == 3
+        assert quality.num_correct == 3
+        assert quality.recall == 1.0
+
+    def test_cluster_spanning_pairs_close_to_same_metrics(self):
+        from repro.evaluation.metrics import cluster_spanning_pairs
+
+        truth = GroundTruth([["a", "b", "c"], ["d", "e"]])
+        clusters = [frozenset({"a", "b", "c"}), frozenset({"d", "x"})]
+        full = [("a", "b"), ("a", "c"), ("b", "c"), ("d", "x")]
+        assert evaluate_matches(cluster_spanning_pairs(clusters), truth) == evaluate_matches(
+            full, truth
+        )
+
+    def test_ground_truth_ordinal_views(self):
+        truth = GroundTruth([["a", "b"], ["c", "d"]])
+        indices = truth.cluster_indices(["a", "b", "c", "z"])
+        assert indices[0] == indices[1]
+        assert indices[2] != indices[0] and indices[2] >= 0
+        assert indices[3] == -1
+        assert truth.cluster_index("z") == -1
+        # arithmetic num_matches equals the pair-set size, before and after
+        # the pair set is materialised
+        assert truth.num_matches() == 2
+        assert len(truth.matching_pairs()) == 2
+        assert truth.num_matches() == 2
+
+
+class TestClusterEvaluationFastPath:
+    def test_matches_reference_composition(self):
+        """evaluate_clusters equals composing the public reference helpers."""
+        import random
+
+        from repro.evaluation.clusters import (
+            closest_cluster_score,
+            evaluate_clusters,
+            variation_of_information,
+            _normalise_partition,
+        )
+
+        for seed in (4, 17):
+            rng = random.Random(seed)
+            universe = [f"u{i}" for i in range(40)]
+            truth_pool = universe[:]
+            rng.shuffle(truth_pool)
+            truth_clusters = []
+            while truth_pool:
+                size = rng.randint(1, 5)
+                truth_clusters.append(
+                    [truth_pool.pop() for _ in range(min(size, len(truth_pool)))]
+                )
+            truth = GroundTruth([c for c in truth_clusters if len(c) > 1])
+            produced_pool = universe[:]
+            rng.shuffle(produced_pool)
+            produced = []
+            while produced_pool:
+                size = rng.randint(1, 6)
+                produced.append(
+                    frozenset(
+                        produced_pool.pop() for _ in range(min(size, len(produced_pool)))
+                    )
+                )
+            quality = evaluate_clusters(produced, truth, universe)
+
+            universe_set = set(universe)
+            reference_produced = _normalise_partition(produced, universe_set)
+            reference_truth = _normalise_partition(truth.clusters, universe_set)
+            exact = len(set(reference_produced) & set(reference_truth))
+            assert quality.cluster_precision == exact / len(set(reference_produced))
+            assert quality.cluster_recall == exact / len(set(reference_truth))
+            assert quality.closest_cluster_f1 == 0.5 * (
+                closest_cluster_score(reference_produced, reference_truth)
+                + closest_cluster_score(reference_truth, reference_produced)
+            )
+            assert quality.variation_of_information == variation_of_information(
+                reference_produced, reference_truth, len(universe_set)
+            )
+
+    def test_duplicate_produced_clusters_collapse(self):
+        from repro.evaluation.clusters import evaluate_clusters
+
+        truth = GroundTruth([["a", "b"]])
+        quality = evaluate_clusters(
+            [{"a", "b"}, {"a", "b"}, {"c", "d"}], truth, ["a", "b", "c", "d"]
+        )
+        # duplicates count once: 2 distinct produced clusters ({a,b}, {c,d}),
+        # 1 exact match, against 3 reference clusters ({a,b}, {c}, {d})
+        assert quality.cluster_precision == 1 / 2
+        assert quality.cluster_recall == 1 / 3

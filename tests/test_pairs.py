@@ -60,3 +60,65 @@ class TestComparisonCounter:
         counter.record()
         counter.reset()
         assert counter.total == 0
+
+
+class TestDecisionColumns:
+    def _columns(self):
+        from repro.datamodel.pairs import DecisionColumns, OrdinalInterner
+
+        intern = OrdinalInterner()
+        columns = DecisionColumns(intern.ids, cost=2.0)
+        columns.append(intern("b"), intern("a"), 0.9, True)
+        columns.append(intern("a"), intern("c"), 0.2, False)
+        return columns
+
+    def test_lazy_decisions_bridge(self):
+        from repro.matching.matchers import MatchDecision
+
+        columns = self._columns()
+        assert len(columns) == 2
+        first = columns[0]
+        assert isinstance(first, MatchDecision)
+        assert first.pair == ("a", "b")  # canonicalised like Comparison
+        assert first.similarity == 0.9
+        assert first.is_match is True
+        assert first.cost == 2.0
+        assert [d.is_match for d in columns] == [True, False]
+        with pytest.raises(TypeError):
+            columns[0:1]
+
+    def test_pairs_and_matched_pairs(self):
+        columns = self._columns()
+        assert columns.pair(0) == ("a", "b")
+        assert columns.pairs() == {("a", "b"), ("a", "c")}
+        assert columns.matched_pairs() == [("a", "b")]
+        assert columns.num_matches == 1
+
+    def test_from_decisions_round_trip(self):
+        from repro.datamodel.pairs import Comparison, DecisionColumns
+        from repro.matching.matchers import MatchDecision
+
+        decisions = [
+            MatchDecision(Comparison("x", "m"), 0.7, True),
+            MatchDecision(Comparison("m", "n"), 0.1, False),
+        ]
+        columns = DecisionColumns.from_decisions(decisions)
+        assert list(columns) == decisions
+
+    def test_from_match_pairs_canonicalises_and_rejects_self_pairs(self):
+        from repro.datamodel.pairs import DecisionColumns
+
+        columns = DecisionColumns.from_match_pairs([("b", "a"), ("a", "c")])
+        assert [columns.pair(i) for i in range(len(columns))] == [("a", "b"), ("a", "c")]
+        assert all(columns.is_match)
+        assert all(s == 1.0 for s in columns.similarity)
+        with pytest.raises(ValueError):
+            DecisionColumns.from_match_pairs([("a", "a")])
+
+    def test_misaligned_columns_rejected(self):
+        from array import array
+
+        from repro.datamodel.pairs import DecisionColumns
+
+        with pytest.raises(ValueError):
+            DecisionColumns(["a", "b"], first=array("q", [0]), second=array("q", []))
