@@ -178,6 +178,31 @@ def _index_token_build(
     return collection
 
 
+def _emit_token_blocks(
+    builder: TokenBlocking, context, postings: Dict[int, array]
+) -> BlockCollection:
+    """Materialise a block collection from token-id postings over a context.
+
+    The shared emission tail of the sequential context build and the
+    multi-process build: blocks come out in deterministic sorted-key order,
+    oversized postings are dropped by the builder's
+    :meth:`~repro.blocking.token_blocking.TokenBlocking.member_limit`, and
+    degenerate blocks by :func:`_add_block` -- so any two paths that agree on
+    posting content produce identical collections.
+    """
+    ids = context.ids
+    left_count = context.left_count
+    limit = builder.member_limit(context.num_descriptions)
+    collection = BlockCollection(name=builder.name)
+    token_of = context.token
+    for key, token_id in sorted((token_of(tid), tid) for tid in postings):
+        posting = postings[token_id]
+        if limit is not None and len(posting) > limit:
+            continue
+        _add_block(collection, key, posting, ids, left_count)
+    return collection
+
+
 def _context_token_build(builder: TokenBlocking, context) -> BlockCollection:
     """Token / prefix--infix--suffix build over a shared context's columns."""
     token_filter = context.token_filter(builder.stop_words, builder.min_token_length)
@@ -209,16 +234,7 @@ def _context_token_build(builder: TokenBlocking, context) -> BlockCollection:
                 if trivial or allows(token_id):
                     _append_posting(postings, token_id, ordinal)
 
-    left_count = context.left_count
-    limit = builder.member_limit(context.num_descriptions)
-    collection = BlockCollection(name=builder.name)
-    token_of = context.token
-    for key, token_id in sorted((token_of(tid), tid) for tid in postings):
-        posting = postings[token_id]
-        if limit is not None and len(posting) > limit:
-            continue
-        _add_block(collection, key, posting, ids, left_count)
-    return collection
+    return _emit_token_blocks(builder, context, postings)
 
 
 def _index_attribute_clustering_build(
@@ -675,6 +691,15 @@ class BlockingEngine:
         shared pipeline context.  Ignored (per-engine interning, exactly as
         before) for data the context does not own, for the oracle engine,
         and for builders without an index implementation.
+    parallel:
+        Optional :class:`~repro.mapreduce.parallel.ParallelEngine`.  When
+        given (together with a context that owns the input), plain
+        :class:`TokenBlocking` builds fan the postings pass out to worker
+        processes over the context's shared columns -- bit-identical to the
+        single-process index build.  Every other configuration (the
+        prefix--infix--suffix and attribute-clustering schemes intern new
+        keys driver-side, foreign collections have no shared columns)
+        silently stays single-process.
 
     Notes
     -----
@@ -690,6 +715,7 @@ class BlockingEngine:
         engine: str = "index",
         use_numpy: Optional[bool] = None,
         context=None,
+        parallel=None,
     ) -> None:
         if engine not in BLOCKING_ENGINES:
             raise ValueError(f"unknown engine {engine!r}; available: {BLOCKING_ENGINES}")
@@ -701,6 +727,7 @@ class BlockingEngine:
         self.builder = builder if builder is not None else TokenBlocking()
         self.engine = engine
         self.context = context
+        self.parallel = parallel
         self._use_numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
         #: engine that actually executed the last build/clean call
         self.last_engine: Optional[str] = None
@@ -720,6 +747,14 @@ class BlockingEngine:
                 context = None
             if type(self.builder) is AttributeClusteringBlocking:
                 return _index_attribute_clustering_build(self.builder, data, context)
+            if (
+                self.parallel is not None
+                and context is not None
+                and type(self.builder) is TokenBlocking
+                and context.num_descriptions > 0
+            ):
+                postings = self.parallel.token_postings(self.builder, context)
+                return _emit_token_blocks(self.builder, context, postings)
             return _index_token_build(self.builder, data, context)
         self.last_engine = "oracle"
         return self.builder.build(data)

@@ -65,6 +65,7 @@ def _workflow_from_args(args: argparse.Namespace) -> ERWorkflow:
         clustering=args.clustering,
         clustering_engine=args.clustering_engine,
         shared_context=not args.no_shared_context,
+        num_workers=args.num_workers,
     )
     return ERWorkflow(config)
 
@@ -127,6 +128,13 @@ def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
         action="store_true",
         help="disable the shared pipeline context (each stage interns its own "
         "token store, tokenising the collection once per stage)",
+    )
+    parser.add_argument(
+        "--num-workers",
+        type=int,
+        default=1,
+        help="worker processes of the multi-process parallel engine (default: 1 = "
+        "in-process; >1 requires the shared context and produces bit-identical results)",
     )
     parser.add_argument("--budget", type=int, default=None, help="comparison budget (default: unlimited)")
     parser.add_argument("--threshold", type=float, default=0.55, help="match threshold")

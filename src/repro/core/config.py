@@ -87,6 +87,14 @@ class WorkflowConfig:
         lets every engine intern its own per-stage store (the historical
         behaviour).  Results are bit-identical either way; the shared
         context only removes the redundant tokenisation passes.
+    num_workers:
+        Number of worker processes of the multi-process parallel engine
+        (:class:`~repro.mapreduce.parallel.ParallelEngine`).  The default
+        ``1`` runs everything in-process; with ``num_workers > 1`` (and the
+        shared context enabled, whose columns the workers read through
+        shared memory) the blocking postings pass, the meta-blocking weight
+        streams and the batched matching scores are computed by worker
+        processes.  Results are bit-identical to the single-process run.
     """
 
     blocking: str = "token"
@@ -109,6 +117,7 @@ class WorkflowConfig:
     clustering: str = "connected_components"
     clustering_engine: str = "array"
     shared_context: bool = True
+    num_workers: int = 1
 
     def describe(self) -> str:
         """One-line human-readable summary of the configured pipeline."""
@@ -131,4 +140,5 @@ class WorkflowConfig:
         stages.append(f"{self.clustering}(engine={self.clustering_engine})")
         budget = f", budget={self.budget}" if self.budget is not None else ""
         context = ", shared-context" if self.shared_context else ""
-        return " -> ".join(stages) + budget + context
+        workers = f", workers={self.num_workers}" if self.num_workers > 1 else ""
+        return " -> ".join(stages) + budget + context + workers

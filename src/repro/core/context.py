@@ -109,6 +109,16 @@ class TokenFilter:
             self._extend(vocabulary_size)
         return array("q", (t for t in token_ids if flags[t]))
 
+    def mask(self, size: int) -> bytes:
+        """The admission flags of token ids ``0..size-1`` as immutable bytes.
+
+        The multi-process engine ships this snapshot to worker processes so
+        they can apply the filter without the vocabulary strings.
+        """
+        if len(self._flags) < size:
+            self._extend(size)
+        return bytes(self._flags[:size])
+
 
 class PipelineContext:
     """One collection, interned once, shared by every pipeline phase.

@@ -178,7 +178,34 @@ class ERWorkflow:
         data: ERInput,
         ground_truth: Optional[GroundTruth] = None,
     ) -> WorkflowResult:
-        """Execute the workflow over ``data``; evaluate against ``ground_truth`` if given."""
+        """Execute the workflow over ``data``; evaluate against ``ground_truth`` if given.
+
+        With ``config.num_workers > 1`` (and the shared context enabled,
+        which the parallel engine's shared columns require), a
+        :class:`~repro.mapreduce.parallel.ParallelEngine` is opened for the
+        duration of the run and handed to the blocking, meta-blocking and
+        matching engines; each fans its hot pass out to worker processes
+        when it can reproduce the single-process result bit for bit, and
+        runs single-process otherwise.  Results are identical either way.
+        """
+        config = self.config
+        parallel = None
+        if config.num_workers > 1 and config.shared_context:
+            from repro.mapreduce.parallel import ParallelEngine
+
+            parallel = ParallelEngine(num_workers=config.num_workers)
+        try:
+            return self._run(data, ground_truth, parallel)
+        finally:
+            if parallel is not None:
+                parallel.close()
+
+    def _run(
+        self,
+        data: ERInput,
+        ground_truth: Optional[GroundTruth],
+        parallel,
+    ) -> WorkflowResult:
         config = self.config
         result = WorkflowResult()
         report = result.report
@@ -191,7 +218,7 @@ class ERWorkflow:
         start = time.perf_counter()
         builder = self._make_blocking()
         blocking_engine = BlockingEngine(
-            builder, engine=config.blocking_engine, context=context
+            builder, engine=config.blocking_engine, context=context, parallel=parallel
         )
         blocks = blocking_engine.build(data)
         raw_blocks = blocks
@@ -232,7 +259,9 @@ class ERWorkflow:
                 config.pruning_scheme,
                 engine=config.metablocking_engine,
             )
-            candidates = metablocking.weighted_columns(blocks, context=context)
+            candidates = metablocking.weighted_columns(
+                blocks, context=context, parallel=parallel
+            )
             report.add_stage(
                 f"metablocking[{config.weighting_scheme}+{config.pruning_scheme}"
                 f"@{metablocking.last_engine}]",
@@ -262,7 +291,9 @@ class ERWorkflow:
         start = time.perf_counter()
         scheduler = self._make_scheduler()
         matcher = self._make_matcher(data, context)
-        engine = MatchingEngine(matcher, engine=config.matching_engine, context=context)
+        engine = MatchingEngine(
+            matcher, engine=config.matching_engine, context=context, parallel=parallel
+        )
         scheduling = SchedulingEngine(scheduler, engine=config.scheduling_engine)
         progressive = run_progressive(
             scheduler=scheduler,

@@ -1,15 +1,54 @@
-"""In-process MapReduce simulation for parallel blocking and meta-blocking.
+"""Parallel execution: a real multi-process engine and a MapReduce simulation.
 
 The tutorial discusses MapReduce-based parallelisations of blocking (Dedoop,
-parallel token blocking) and of meta-blocking.  Real clusters are out of scope
-for a laptop reproduction, so this package provides a faithful *simulation*:
+parallel token blocking) and of meta-blocking.  This package provides both a
+*real* multi-core execution path and the original single-process simulation,
+and the two serve different purposes:
+
+**The multi-process engine** (:mod:`repro.mapreduce.parallel`) delivers
+actual wall-clock speedup on multi-core machines:
+
+* :class:`~repro.mapreduce.parallel.ParallelEngine` shards the flat columns
+  of the shared :class:`~repro.core.context.PipelineContext` and of the
+  meta-blocking CSR index by contiguous entity-ordinal ranges
+  (:func:`~repro.mapreduce.balancing.contiguous_partitions` balances the
+  ranges by per-entity cost) and runs the blocking postings pass, the
+  meta-blocking node-weight streams and the batched matching scores in
+  ``multiprocessing`` workers;
+* the columns cross the process boundary through
+  :class:`~repro.mapreduce.shm.ColumnSegment` shared memory -- workers
+  attach zero-copy and only the small per-partition result columns are
+  pickled back;
+* results are **bit-identical** to the single-process array engines (same
+  blocks, same edge weights, same match decisions, same tie order), because
+  every worker kernel (:mod:`repro.mapreduce.worker`) either is the
+  sequential code run over a range, or replicates its exact expressions over
+  the same exact integers;
+* the engines it plugs into (``BlockingEngine``, ``MetaBlocking``,
+  ``MatchingEngine``) fall back to their single-process paths for anything
+  the workers cannot reproduce -- non-token blocking schemes, foreign
+  collections outside the shared context, transient merged descriptions,
+  custom weighting/pruning/matcher subclasses -- so enabling the engine
+  never changes a result.
+
+Shared-memory lifecycle: the driver (the ``ParallelEngine``) owns every
+segment and unlinks all of them in :meth:`~repro.mapreduce.parallel.ParallelEngine.close`
+(use the engine as a context manager); workers only ever attach, and
+unregister their attachments from the ``resource_tracker`` so no spurious
+leak warnings (and no double unlinks) occur -- see :mod:`repro.mapreduce.shm`.
+
+**The MapReduce simulation** (:mod:`repro.mapreduce.engine`,
+:mod:`repro.mapreduce.jobs`) remains the readable oracle for the *semantics*
+of the published MapReduce formulations, and the path custom user-defined
+jobs run on:
 
 * :class:`~repro.mapreduce.engine.MapReduceEngine` executes map, shuffle and
-  reduce phases with a configurable number of workers, charging each worker a
-  per-record cost and reporting the simulated makespan (the maximum per-worker
-  cost), which is what speedup and load-balance experiments measure.
-* :mod:`repro.mapreduce.jobs` defines the parallel token-blocking job and the
-  three-stage parallel meta-blocking jobs.
+  reduce phases exactly once in-process with a configurable number of
+  simulated workers, charging each worker a per-record cost and reporting
+  the simulated makespan (the maximum per-worker cost), which is what
+  speedup and load-balance experiments measure;
+* :mod:`repro.mapreduce.jobs` defines the parallel token-blocking job and
+  the three-stage parallel meta-blocking jobs;
 * :mod:`repro.mapreduce.balancing` provides reduce-side load-balancing
   strategies (naive hashing vs. greedy longest-processing-time placement),
   the knob the parallel meta-blocking papers study under block-size skew.
@@ -19,6 +58,7 @@ from repro.mapreduce.balancing import (
     GreedyBalancedPartitioner,
     HashPartitioner,
     Partitioner,
+    contiguous_partitions,
 )
 from repro.mapreduce.engine import JobStatistics, MapReduceEngine, MapReduceJob
 from repro.mapreduce.jobs import (
@@ -26,6 +66,7 @@ from repro.mapreduce.jobs import (
     ParallelTokenBlocking,
     block_collection_from_reduce_output,
 )
+from repro.mapreduce.parallel import ParallelEngine
 
 __all__ = [
     "GreedyBalancedPartitioner",
@@ -33,8 +74,10 @@ __all__ = [
     "JobStatistics",
     "MapReduceEngine",
     "MapReduceJob",
+    "ParallelEngine",
     "ParallelMetaBlocking",
     "ParallelTokenBlocking",
     "Partitioner",
     "block_collection_from_reduce_output",
+    "contiguous_partitions",
 ]

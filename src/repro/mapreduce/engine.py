@@ -67,7 +67,11 @@ class JobStatistics:
     job_name: str
     num_workers: int
     num_input_records: int = 0
+    #: pairs emitted by the map function, before any combiner ran
     num_intermediate_pairs: int = 0
+    #: pairs that actually crossed the shuffle (after per-worker combiners);
+    #: equals ``num_intermediate_pairs`` when no combiner is used
+    num_combined_pairs: int = 0
     num_groups: int = 0
     num_output_records: int = 0
     map_worker_costs: List[float] = field(default_factory=list)
@@ -108,6 +112,7 @@ class JobStatistics:
             "workers": self.num_workers,
             "input_records": self.num_input_records,
             "intermediate_pairs": self.num_intermediate_pairs,
+            "combined_pairs": self.num_combined_pairs,
             "groups": self.num_groups,
             "output_records": self.num_output_records,
             "makespan": self.makespan,
@@ -175,6 +180,7 @@ class MapReduceEngine:
             if self.use_combiner:
                 local = {key: job.combine(key, values) for key, values in local.items()}
             for key, values in local.items():
+                statistics.num_combined_pairs += len(values)
                 grouped.setdefault(key, []).extend(values)
             map_costs.append(worker_cost)
         statistics.map_worker_costs = map_costs

@@ -102,8 +102,8 @@ class ParallelTokenBlocking:
         job = _TokenBlockingJob(self.tokenizer, bilateral)
         outputs, statistics = engine.run(job, records)
         blocks = block_collection_from_reduce_output(outputs, name=self.name)
-        if self.tokenizer.max_block_fraction is not None and records:
-            limit = max(2, int(self.tokenizer.max_block_fraction * len(records)))
+        limit = self.tokenizer.member_limit(len(records))
+        if limit is not None:
             blocks = BlockCollection(
                 (block for block in blocks if len(block) <= limit), name=self.name
             )

@@ -1,0 +1,423 @@
+"""The multi-process parallel engine over shared pipeline columns.
+
+:class:`ParallelEngine` is the driver side of the real (non-simulated)
+parallel execution path: it shards the flat columns of a
+:class:`~repro.core.context.PipelineContext` or
+:class:`~repro.metablocking.entity_index.EntityIndexEngine` by contiguous
+entity-ordinal ranges (:func:`~repro.mapreduce.balancing.contiguous_partitions`
+balances the ranges by per-entity cost), exposes the columns to a
+``multiprocessing`` pool through :class:`~repro.mapreduce.shm.ColumnSegment`
+shared memory, and concatenates the per-partition result columns back in
+range order.  The worker-side kernels live in :mod:`repro.mapreduce.worker`.
+
+The engine parallelises exactly the stages whose sequential engines it can
+reproduce bit for bit -- token-blocking postings, meta-blocking node-weight
+streams (all weighting schemes, including the ECBS/EJS global factors), and
+batched profile-similarity scoring -- and the callers in
+:mod:`repro.blocking.engine`, :mod:`repro.metablocking.pipeline` and
+:mod:`repro.matching.engine` fall back to their single-process paths for
+anything else, so plugging an engine in never changes a result.
+
+Lifecycle: the engine owns every shared-memory segment it creates and every
+pool process it forks; :meth:`close` (or use as a context manager) tears both
+down deterministically -- segments are unlinked driver-side, and workers only
+ever attach (see :mod:`repro.mapreduce.shm` for the tracker discipline that
+keeps ``resource_tracker`` silent).  Unlike the sequential pruning passes,
+whose transient memory is bounded by one neighbourhood, the driver holds each
+fanned-out weight round in full while the pruning pass consumes it.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+from array import array
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.datamodel.pairs import identifier_ranks
+from repro.mapreduce import worker
+from repro.mapreduce.balancing import contiguous_partitions
+from repro.mapreduce.shm import ColumnSegment, SegmentSpec
+
+try:  # pragma: no cover - exercised implicitly when numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+
+def _extend_int64(destination: array, column) -> None:
+    """Append ``column`` (array/ndarray/sequence of ints) to an ``array('q')``."""
+    if _np is not None and isinstance(column, _np.ndarray):
+        destination.frombytes(
+            _np.ascontiguousarray(column, dtype=_np.int64).tobytes()
+        )
+    else:
+        destination.extend(column)
+
+
+class ParallelEngine:
+    """Multi-process executor over shared-memory pipeline columns.
+
+    Parameters
+    ----------
+    num_workers:
+        Number of worker processes in the pool.  ``1`` still runs through a
+        one-process pool (so single-worker timings measure the real parallel
+        path, IPC included).
+    start_method:
+        ``multiprocessing`` start method; ``None`` picks ``fork`` when the
+        platform offers it (workers then inherit the interpreter state) and
+        the platform default otherwise.
+
+    Notes
+    -----
+    The engine is handed to :class:`~repro.blocking.engine.BlockingEngine`,
+    :class:`~repro.metablocking.pipeline.MetaBlocking` and
+    :class:`~repro.matching.engine.MatchingEngine` via their ``parallel``
+    parameters; they call back into the three public stage methods below.
+    Always :meth:`close` the engine (or use ``with``): that terminates the
+    pool and unlinks every shared-memory segment.
+    """
+
+    def __init__(
+        self,
+        num_workers: int = 4,
+        start_method: Optional[str] = None,
+    ) -> None:
+        if num_workers < 1:
+            raise ValueError("num_workers must be at least 1")
+        self.num_workers = num_workers
+        self._start_method = start_method
+        self._pool = None
+        self._segments: List[ColumnSegment] = []
+        # caches hold strong references to their keys' objects so an id()
+        # can never be recycled while its entry is alive
+        self._context_entries: Dict[int, Tuple[object, dict]] = {}
+        self._mask_specs: Dict[Tuple[int, int], Tuple[object, Optional[SegmentSpec]]] = {}
+        self._idf_specs: Dict[Tuple[int, int], Tuple[object, SegmentSpec]] = {}
+        self._index_entries: Dict[int, Tuple[object, dict]] = {}
+        self._closed = False
+
+    # ------------------------------------------------------------------
+    # lifecycle
+    # ------------------------------------------------------------------
+    def _run(self, job, tasks: Sequence[tuple]) -> list:
+        if self._closed:
+            raise RuntimeError("ParallelEngine is closed")
+        if self._pool is None:
+            method = self._start_method
+            if method is None and "fork" in multiprocessing.get_all_start_methods():
+                method = "fork"
+            context = (
+                multiprocessing.get_context(method)
+                if method is not None
+                else multiprocessing.get_context()
+            )
+            # only spawned workers run their own resource tracker; forked
+            # (and forkserver) workers share the driver's -- see shm.py
+            self._pool = context.Pool(
+                processes=self.num_workers,
+                initializer=worker.configure,
+                initargs=(context.get_start_method() == "spawn",),
+            )
+        return self._pool.map(job, tasks)
+
+    def _segment(self, columns) -> ColumnSegment:
+        segment = ColumnSegment(columns)
+        self._segments.append(segment)
+        return segment
+
+    def close(self) -> None:
+        """Terminate the pool and unlink every shared-memory segment (idempotent)."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._pool is not None:
+            self._pool.close()
+            self._pool.join()
+            self._pool = None
+        for segment in self._segments:
+            segment.destroy()
+        self._segments = []
+        self._context_entries.clear()
+        self._mask_specs.clear()
+        self._idf_specs.clear()
+        self._index_entries.clear()
+
+    def __enter__(self) -> "ParallelEngine":
+        return self
+
+    def __exit__(self, *_exc) -> None:
+        self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net only
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    # ------------------------------------------------------------------
+    # shared-column export
+    # ------------------------------------------------------------------
+    def _context_entry(self, context) -> dict:
+        """The shared token-CSR segment of ``context`` (exported once)."""
+        key = id(context)
+        cached = self._context_entries.get(key)
+        if cached is not None and cached[0] is context:
+            return cached[1]
+        num_descriptions = context.num_descriptions
+        tok_ptr = array("q", [0])
+        tok_ids = array("q")
+        tok_counts = array("q")
+        for ordinal in range(num_descriptions):
+            ids_column, counts_column = context.token_counts(ordinal)
+            _extend_int64(tok_ids, ids_column)
+            _extend_int64(tok_counts, counts_column)
+            tok_ptr.append(len(tok_ids))
+        segment = self._segment(
+            {
+                "tok_ptr": ("q", tok_ptr),
+                "tok_ids": ("q", tok_ids),
+                "tok_counts": ("q", tok_counts),
+            }
+        )
+        entry = {"spec": segment.spec, "n": num_descriptions, "tok_ptr": tok_ptr}
+        self._context_entries[key] = (context, entry)
+        return entry
+
+    def _mask_spec(self, context, stop_words, min_token_length) -> Optional[SegmentSpec]:
+        """The shared admission mask of one token-filter config (``None`` if trivial)."""
+        token_filter = context.token_filter(stop_words, min_token_length)
+        if token_filter.trivial:
+            return None
+        key = (id(context), id(token_filter))
+        cached = self._mask_specs.get(key)
+        if cached is not None and cached[0] is token_filter:
+            return cached[1]
+        mask = token_filter.mask(context.vocabulary_size)
+        segment = self._segment({"mask": ("B", mask)})
+        self._mask_specs[key] = (token_filter, segment.spec)
+        return segment.spec
+
+    def _idf_spec(self, context, vectorizer) -> SegmentSpec:
+        """The shared idf column of a fitted vectorizer over the vocabulary."""
+        key = (id(context), id(vectorizer))
+        cached = self._idf_specs.get(key)
+        if cached is not None and cached[0] is vectorizer:
+            return cached[1]
+        idf = array(
+            "d",
+            (
+                vectorizer.idf(context.token(token_id))
+                for token_id in range(context.vocabulary_size)
+            ),
+        )
+        segment = self._segment({"idf": ("d", idf)})
+        self._idf_specs[key] = (vectorizer, segment.spec)
+        return segment.spec
+
+    # ------------------------------------------------------------------
+    # blocking
+    # ------------------------------------------------------------------
+    def token_postings(self, builder, context) -> Dict[int, array]:
+        """Token postings (``token id -> ascending description ordinals``) of
+        ``context`` under ``builder``'s admission rule, built by the pool.
+
+        Partitions are balanced by per-description token count; each worker
+        returns its range's local postings and the range-order merge
+        reproduces the sequential builder's posting content exactly (ordinals
+        ascend within and across ranges).
+        """
+        entry = self._context_entry(context)
+        mask_spec = self._mask_spec(context, builder.stop_words, builder.min_token_length)
+        tok_ptr = entry["tok_ptr"]
+        costs = [tok_ptr[o + 1] - tok_ptr[o] for o in range(entry["n"])]
+        tasks = [
+            (entry["spec"], mask_spec, start, stop)
+            for start, stop in contiguous_partitions(costs, self.num_workers)
+        ]
+        postings: Dict[int, array] = {}
+        for token_column, counts, flat in self._run(worker.token_postings_job, tasks):
+            position = 0
+            for token_id, count in zip(token_column, counts):
+                posting = postings.get(token_id)
+                if posting is None:
+                    postings[token_id] = posting = array("q")
+                posting.extend(flat[position : position + count])
+                position += count
+        return postings
+
+    # ------------------------------------------------------------------
+    # meta-blocking
+    # ------------------------------------------------------------------
+    def install_node_weights(self, index_engine) -> bool:
+        """Fan ``index_engine``'s node-weight stream out to the pool.
+
+        Exports the index's CSR columns (plus the identifier-rank column that
+        stands in for string comparisons) to shared memory and installs a
+        ``node_weights_source`` on the engine, so every pruning pass and
+        weight stream transparently consumes the pooled rounds.  Returns
+        ``False`` -- leaving the engine untouched -- when there is nothing to
+        parallelise (an empty index).
+        """
+        if index_engine.num_entities == 0:
+            return False
+        entry = self._index_entry(index_engine)
+
+        def source(scheme: str, lower: bool):
+            rounds = self._node_weight_rounds(index_engine, entry, scheme, lower)
+            vectorised = index_engine._use_numpy
+            for nodes, ptr, neighbours_flat, weights_flat in rounds:
+                if vectorised:
+                    np_neighbours = _np.frombuffer(neighbours_flat, dtype=_np.int64)
+                    np_weights = _np.frombuffer(weights_flat, dtype=_np.float64)
+                for position, node in enumerate(nodes):
+                    lo, hi = ptr[position], ptr[position + 1]
+                    if vectorised:
+                        yield node, np_neighbours[lo:hi], np_weights[lo:hi]
+                    else:
+                        yield node, neighbours_flat[lo:hi], weights_flat[lo:hi]
+
+        index_engine.node_weights_source = source
+        return True
+
+    def _index_entry(self, index_engine) -> dict:
+        key = id(index_engine)
+        cached = self._index_entries.get(key)
+        if cached is not None and cached[0] is index_engine:
+            return cached[1]
+        ranks = identifier_ranks(index_engine._ids)
+        rank_column = array("q")
+        _extend_int64(rank_column, ranks)
+        segment = self._segment(
+            {
+                "blk_ptr": ("q", index_engine._blk_ptr),
+                "blk_ents": ("q", index_engine._blk_ents),
+                "blk_split": ("q", index_engine._blk_split),
+                "recip": ("d", index_engine._recip),
+                "ent_ptr": ("q", index_engine._ent_ptr),
+                "ent_blocks": ("q", index_engine._ent_blocks),
+                "ent_side": ("b", index_engine._ent_side),
+                "ranks": ("q", rank_column),
+            }
+        )
+        ent_ptr = index_engine._ent_ptr
+        costs = [
+            ent_ptr[node + 1] - ent_ptr[node] + 1
+            for node in range(index_engine.num_entities)
+        ]
+        entry = {
+            "spec": segment.spec,
+            "parts": contiguous_partitions(costs, self.num_workers),
+            "factors": {},
+            "rounds": {},
+        }
+        self._index_entries[key] = (index_engine, entry)
+        return entry
+
+    def _node_weight_rounds(self, index_engine, entry: dict, scheme: str, lower: bool):
+        """One pooled pass of the (scheme, lower) weight stream, cached.
+
+        Pruning schemes consume the same stream up to twice (threshold pass
+        then emission pass), so each round is fanned out once and replayed
+        from the driver-side cache afterwards.
+        """
+        key = (scheme, lower)
+        cached = entry["rounds"].get(key)
+        if cached is not None:
+            return cached
+        factors_spec = self._factors_spec(index_engine, entry, scheme)
+        tasks = [
+            (entry["spec"], factors_spec, scheme, lower, start, stop, index_engine._use_numpy)
+            for start, stop in entry["parts"]
+        ]
+        rounds = self._run(worker.node_weights_job, tasks)
+        entry["rounds"][key] = rounds
+        return rounds
+
+    def _factors_spec(self, index_engine, entry: dict, scheme: str) -> Optional[SegmentSpec]:
+        """The shared global-factor column of ECBS/EJS (``None`` for local schemes)."""
+        if scheme not in ("ECBS", "EJS"):
+            return None
+        cached = entry["factors"].get(scheme)
+        if cached is not None:
+            return cached
+        if scheme == "EJS" and index_engine._degree_cache is None:
+            self._pooled_degrees(index_engine, entry)
+        factors = array("d", index_engine._factors(scheme))
+        segment = self._segment({"factors": ("d", factors)})
+        entry["factors"][scheme] = segment.spec
+        return segment.spec
+
+    def _pooled_degrees(self, index_engine, entry: dict) -> None:
+        """Fill the index's EJS degree cache from pooled partial-degree rounds.
+
+        Each worker returns the degree contributions of its node range as a
+        full-length integer column; summing the columns is a commutative
+        integer reduction, so the result equals the sequential
+        ``_degrees`` column exactly.
+        """
+        tasks = [
+            (entry["spec"], start, stop, index_engine._use_numpy)
+            for start, stop in entry["parts"]
+        ]
+        results = self._run(worker.partial_degrees_job, tasks)
+        num_entities = index_engine.num_entities
+        num_edges = 0
+        if _np is not None and index_engine._use_numpy:
+            accumulated = _np.zeros(num_entities, dtype=_np.int64)
+            for degrees, edges in results:
+                if len(degrees):
+                    accumulated += _np.frombuffer(degrees, dtype=_np.int64)
+                num_edges += edges
+            total = array("q")
+            total.frombytes(accumulated.tobytes())
+        else:
+            total = array("q", bytes(8 * num_entities))
+            for degrees, edges in results:
+                num_edges += edges
+                for node, degree in enumerate(degrees):
+                    if degree:
+                        total[node] += degree
+        index_engine._degree_cache = (total, num_edges)
+
+    # ------------------------------------------------------------------
+    # matching
+    # ------------------------------------------------------------------
+    def similarity_scores(self, context, matcher, ordinal_pairs) -> List[float]:
+        """Profile similarity of ``(left ordinal, right ordinal)`` pairs.
+
+        Workers rebuild each touched description's profile from the shared
+        token CSR (TF-IDF weights from the shared idf column, set profiles
+        through the shared admission mask) and score their slice of the pair
+        batch with the oracle expressions; concatenating the slices in
+        partition order restores input order.
+        """
+        entry = self._context_entry(context)
+        if matcher.vectorizer is not None:
+            mode = "tfidf"
+            similarity_name = ""
+            mask_spec = self._mask_spec(context, None, matcher.vectorizer.min_token_length)
+            idf_spec = self._idf_spec(context, matcher.vectorizer)
+        else:
+            mode = "set"
+            similarity_name = matcher.similarity_name
+            mask_spec = self._mask_spec(context, matcher.stop_words, matcher.min_token_length)
+            idf_spec = None
+        first = array("q", (pair[0] for pair in ordinal_pairs))
+        second = array("q", (pair[1] for pair in ordinal_pairs))
+        tasks = [
+            (
+                entry["spec"],
+                mask_spec,
+                idf_spec,
+                mode,
+                similarity_name,
+                first[start:stop],
+                second[start:stop],
+            )
+            for start, stop in contiguous_partitions([1.0] * len(first), self.num_workers)
+        ]
+        scores: List[float] = []
+        for chunk in self._run(worker.similarity_scores_job, tasks):
+            scores.extend(chunk)
+        return scores

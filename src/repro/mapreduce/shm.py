@@ -1,0 +1,164 @@
+"""Shared-memory column segments for the multi-process parallel engine.
+
+The columnar engines of PRs 1--5 keep every hot data structure as a flat
+``array('q')`` / ``array('d')`` / byte-mask buffer.  Those buffers are exactly
+what :mod:`multiprocessing.shared_memory` can expose to worker processes
+without copying: the driver packs the named columns of one pipeline phase
+into a single segment (:class:`ColumnSegment`), ships the tiny picklable
+:attr:`~ColumnSegment.spec` to the workers, and every worker attaches the
+segment once and reads the columns through zero-copy ``memoryview`` casts
+(or ``numpy.frombuffer`` views on the vectorised paths).
+
+Lifecycle rules (see also the :mod:`repro.mapreduce` package docstring):
+
+* the **driver** owns every segment: it creates the block of memory, keeps
+  the :class:`ColumnSegment` handle, and calls :meth:`ColumnSegment.destroy`
+  (close + unlink) when the parallel engine shuts down;
+* **workers** only ever attach.  Python's :class:`SharedMemory` registers
+  every attachment with the ``resource_tracker`` as if the attaching process
+  owned the segment (fixed upstream only in 3.13 via ``track=False``).  What
+  that implies depends on the start method: a *spawned* worker runs its own
+  tracker, which at worker exit would warn about -- and, worse, unlink --
+  the driver's "leaked" segments, so :func:`attach` must unregister the
+  attachment immediately (``unregister=True``); a *forked* worker shares the
+  driver's tracker process, where the segment is already registered by the
+  driver's create (the registry is a set, so the attach-register is a
+  no-op), and unregistering there would strip the driver's own entry and
+  make the final unlink trip a tracker ``KeyError`` (``unregister=False``).
+  :class:`~repro.mapreduce.parallel.ParallelEngine` configures the worker
+  side accordingly via the pool initializer;
+* ``memoryview`` casts pin the mapped buffer, so
+  :meth:`AttachedSegment.release` drops every view *before* closing the
+  mapping (closing first raises ``BufferError``).
+"""
+
+from __future__ import annotations
+
+from array import array
+from multiprocessing import resource_tracker, shared_memory
+from typing import Dict, Tuple, Union
+
+#: item size per supported typecode ("q" int64, "d" float64, "B" byte mask)
+_ITEM_SIZES = {"q": 8, "d": 8, "b": 1, "B": 1}
+
+#: picklable layout: (shared-memory name, {column: (typecode, offset, items)})
+SegmentSpec = Tuple[str, Dict[str, Tuple[str, int, int]]]
+
+ColumnData = Union[array, bytes, bytearray, memoryview]
+
+
+def _column_bytes(typecode: str, data: ColumnData) -> bytes:
+    if isinstance(data, array):
+        if data.typecode != typecode:
+            raise ValueError(f"array typecode {data.typecode!r} != column typecode {typecode!r}")
+        return data.tobytes()
+    return bytes(data)
+
+
+class ColumnSegment:
+    """One shared-memory segment holding named flat columns (driver side).
+
+    Parameters
+    ----------
+    columns:
+        ``{name: (typecode, data)}`` with typecode ``"q"`` (int64), ``"d"``
+        (float64) or ``"b"``/``"B"`` (bytes).  The data is copied into the
+        segment once at construction; offsets are 8-byte aligned so every
+        column can be cast (and ``numpy.frombuffer``-viewed) directly.
+    """
+
+    def __init__(self, columns: Dict[str, Tuple[str, ColumnData]]) -> None:
+        payload: Dict[str, bytes] = {}
+        layout: Dict[str, Tuple[str, int, int]] = {}
+        offset = 0
+        for name, (typecode, data) in columns.items():
+            item_size = _ITEM_SIZES[typecode]
+            raw = _column_bytes(typecode, data)
+            if len(raw) % item_size:
+                raise ValueError(f"column {name!r} is not a whole number of {typecode!r} items")
+            payload[name] = raw
+            layout[name] = (typecode, offset, len(raw) // item_size)
+            # 8-byte alignment keeps int64/float64 casts legal at any offset
+            offset += (len(raw) + 7) & ~7
+        # zero-length segments are rejected by the OS: allocate one byte
+        self._shm = shared_memory.SharedMemory(create=True, size=max(1, offset))
+        buf = self._shm.buf
+        for name, raw in payload.items():
+            _typecode, start, _items = layout[name]
+            buf[start : start + len(raw)] = raw
+        self.spec: SegmentSpec = (self._shm.name, layout)
+        self.nbytes = max(1, offset)
+        self._destroyed = False
+
+    def destroy(self) -> None:
+        """Close the driver's mapping and unlink the segment (idempotent)."""
+        if self._destroyed:
+            return
+        self._destroyed = True
+        self._shm.close()
+        self._shm.unlink()
+
+    def __del__(self) -> None:  # pragma: no cover - safety net only
+        try:
+            self.destroy()
+        except Exception:
+            pass
+
+
+class AttachedSegment:
+    """A worker's zero-copy view of a :class:`ColumnSegment`.
+
+    :attr:`views` maps every column name to a typed ``memoryview`` over the
+    shared buffer.  :meth:`release` must drop the views before closing the
+    mapping; the worker-side cache in :mod:`repro.mapreduce.worker` calls it
+    when evicting a segment.
+    """
+
+    __slots__ = ("name", "views", "_shm", "_released")
+
+    def __init__(self, spec: SegmentSpec, unregister: bool = False) -> None:
+        name, layout = spec
+        self._shm = shared_memory.SharedMemory(name=name)
+        if unregister:
+            # the attachment is not an ownership: without this, a spawned
+            # worker's own resource tracker would try to unlink the driver's
+            # segment at exit and warn about "leaked" shared memory
+            try:
+                resource_tracker.unregister(self._shm._name, "shared_memory")
+            except Exception:  # pragma: no cover - tracker internals vary
+                pass
+        self.name = name
+        buf = self._shm.buf
+        views: Dict[str, memoryview] = {}
+        for column, (typecode, offset, items) in layout.items():
+            nbytes = items * _ITEM_SIZES[typecode]
+            views[column] = buf[offset : offset + nbytes].cast(typecode)
+        self.views = views
+        self._released = False
+
+    def numpy_view(self, spec: SegmentSpec, column: str, dtype):
+        """A ``numpy`` view of one column (the caller supplies the module)."""
+        import numpy as np
+
+        _name, layout = spec
+        typecode, offset, items = layout[column]
+        return np.frombuffer(self._shm.buf, dtype=dtype, count=items, offset=offset)
+
+    def release(self) -> None:
+        """Drop every view, then close the worker's mapping (idempotent)."""
+        if self._released:
+            return
+        self._released = True
+        for view in self.views.values():
+            view.release()
+        self.views = {}
+        self._shm.close()
+
+
+def attach(spec: SegmentSpec, unregister: bool = False) -> AttachedSegment:
+    """Attach to a driver-owned segment (worker side).
+
+    ``unregister`` must be ``True`` exactly when this process runs its own
+    resource tracker (spawned workers) -- see the module docstring.
+    """
+    return AttachedSegment(spec, unregister=unregister)

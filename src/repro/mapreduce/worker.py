@@ -1,0 +1,265 @@
+"""Worker-process job functions of the multi-process parallel engine.
+
+Each function here is a top-level callable (so it is picklable under every
+``multiprocessing`` start method) that receives one task tuple: the
+:class:`~repro.mapreduce.shm.ColumnSegment` specs of the shared inputs plus
+an entity-ordinal range, and returns only the per-partition result columns --
+plain ``array`` objects that pickle compactly.  The shared inputs themselves
+are never shipped: workers attach the driver's segments and read them through
+zero-copy views.
+
+Bit-identity is the contract.  Every kernel either *is* the sequential code
+(ranged :meth:`EntityIndexEngine._node_weights
+<repro.metablocking.entity_index.EntityIndexEngine._node_weights>` over a
+:meth:`from_arrays <repro.metablocking.entity_index.EntityIndexEngine.from_arrays>`
+replica, :func:`~repro.text.vectorizer.weighted_cosine`,
+:func:`~repro.matching.engine._set_score`) or replicates its exact
+expressions over the same exact integers (the TF-IDF profile build mirrors
+``ProfileStore._build_from_context`` term for term), so concatenating the
+partition results in range order reproduces the single-process stream float
+for float.
+
+Per-process caches keep repeated rounds cheap: attached segments are held in
+a small LRU (released view-first, see :mod:`repro.mapreduce.shm`), and
+index-engine replicas / description profiles are memoised per segment name --
+segment names are unique per driver allocation, so a name can never refer to
+two different payloads.
+"""
+
+from __future__ import annotations
+
+import math
+from array import array
+from typing import Dict, Optional, Tuple
+
+from repro.mapreduce.shm import AttachedSegment, SegmentSpec, attach
+from repro.matching.engine import _set_score
+from repro.metablocking.entity_index import EntityIndexEngine
+from repro.text.vectorizer import SparseVector, weighted_cosine
+
+try:  # pragma: no cover - exercised implicitly when numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
+
+#: attached segments this worker keeps mapped (evicted view-first, oldest first)
+_SEGMENT_CACHE_SIZE = 8
+
+_segments: Dict[str, AttachedSegment] = {}
+_engines: Dict[Tuple[str, bool], EntityIndexEngine] = {}
+_profiles: Dict[Tuple, Dict[int, object]] = {}
+
+#: whether attachments must be unregistered from this process's resource
+#: tracker -- True only in spawned workers, which run their own tracker
+#: (see repro.mapreduce.shm); set by the pool initializer
+_unregister_on_attach = False
+
+
+def configure(unregister_on_attach: bool) -> None:
+    """Pool initializer: set this worker process's tracker discipline."""
+    global _unregister_on_attach
+    _unregister_on_attach = bool(unregister_on_attach)
+
+
+def _segment(spec: SegmentSpec) -> AttachedSegment:
+    """The cached attachment of ``spec``'s segment (LRU over segment names)."""
+    name = spec[0]
+    segment = _segments.pop(name, None)
+    if segment is None:
+        segment = attach(spec, unregister=_unregister_on_attach)
+    _segments[name] = segment  # re-insertion keeps the dict in LRU order
+    while len(_segments) > _SEGMENT_CACHE_SIZE:
+        evicted_name, evicted = next(iter(_segments.items()))
+        del _segments[evicted_name]
+        # derived caches hold copies or views into this mapping: drop them
+        _engines_pop(evicted_name)
+        for key in [k for k in _profiles if k[0] == evicted_name]:
+            del _profiles[key]
+        evicted.release()
+    return segment
+
+
+def _engines_pop(name: str) -> None:
+    for key in [k for k in _engines if k[0] == name]:
+        del _engines[key]
+
+
+# ----------------------------------------------------------------------
+# blocking
+# ----------------------------------------------------------------------
+def token_postings_job(args) -> Tuple[array, array, array]:
+    """Local token postings of one entity-ordinal range.
+
+    Reads the context's token CSR (``tok_ptr``/``tok_ids``) and the
+    builder's admission mask, and returns the range's postings as three
+    columns: the touched token ids (sorted ascending), the posting length
+    per token, and the flattened ordinals (appended in ordinal order, so the
+    driver's range-order merge yields ascending postings -- the sequential
+    builder's exact content).
+    """
+    ctx_spec, mask_spec, start, stop = args
+    views = _segment(ctx_spec).views
+    tok_ptr = views["tok_ptr"]
+    tok_ids = views["tok_ids"]
+    mask = _segment(mask_spec).views["mask"] if mask_spec is not None else None
+    postings: Dict[int, array] = {}
+    for ordinal in range(start, stop):
+        for token_id in tok_ids[tok_ptr[ordinal] : tok_ptr[ordinal + 1]]:
+            if mask is not None and not mask[token_id]:
+                continue
+            posting = postings.get(token_id)
+            if posting is None:
+                postings[token_id] = posting = array("q")
+            posting.append(ordinal)
+    token_column = array("q", sorted(postings))
+    counts = array("q", (len(postings[t]) for t in token_column))
+    flat = array("q")
+    for token_id in token_column:
+        flat.extend(postings[token_id])
+    return token_column, counts, flat
+
+
+# ----------------------------------------------------------------------
+# meta-blocking
+# ----------------------------------------------------------------------
+def _index_engine(
+    mb_spec: SegmentSpec,
+    use_numpy: bool,
+    factors_spec: Optional[SegmentSpec],
+    scheme: str,
+) -> EntityIndexEngine:
+    segment = _segment(mb_spec)
+    key = (mb_spec[0], use_numpy)
+    engine = _engines.get(key)
+    if engine is None:
+        engine = EntityIndexEngine.from_arrays(segment.views, use_numpy)
+        _engines[key] = engine
+    if factors_spec is not None and scheme not in engine._factor_cache:
+        engine._factor_cache[scheme] = _segment(factors_spec).views["factors"]
+    return engine
+
+
+def node_weights_job(args) -> Tuple[array, array, array, array]:
+    """Weighted neighbourhoods of one node range, as four flat columns.
+
+    ``(nodes, ptr, neighbours, weights)``: node ``nodes[k]``'s neighbourhood
+    is ``neighbours[ptr[k]:ptr[k+1]]`` with aligned weights.  The stream is
+    exactly what the sequential ranged ``_node_weights`` pass yields -- it
+    *is* that pass, over a worker-side replica of the index.
+    """
+    mb_spec, factors_spec, scheme, lower, start, stop, use_numpy = args
+    engine = _index_engine(mb_spec, use_numpy, factors_spec, scheme)
+    nodes = array("q")
+    ptr = array("q", [0])
+    neighbours_flat = array("q")
+    weights_flat = array("d")
+    vectorised = engine._use_numpy
+    for i, neighbours, weights in engine._node_weights(scheme, lower, start, stop):
+        nodes.append(i)
+        if vectorised:
+            neighbours_flat.frombytes(
+                _np.ascontiguousarray(neighbours, dtype=_np.int64).tobytes()
+            )
+            weights_flat.frombytes(
+                _np.ascontiguousarray(weights, dtype=_np.float64).tobytes()
+            )
+        else:
+            neighbours_flat.extend(neighbours)
+            weights_flat.extend(weights)
+        ptr.append(len(neighbours_flat))
+    return nodes, ptr, neighbours_flat, weights_flat
+
+
+def partial_degrees_job(args) -> Tuple[array, int]:
+    """EJS support round: the degree contributions of one node range."""
+    mb_spec, start, stop, use_numpy = args
+    engine = _index_engine(mb_spec, use_numpy, None, "")
+    return engine._partial_degrees(start, stop)
+
+
+# ----------------------------------------------------------------------
+# matching
+# ----------------------------------------------------------------------
+def _profile_table(
+    ctx_spec: SegmentSpec,
+    mask_spec: Optional[SegmentSpec],
+    idf_spec: Optional[SegmentSpec],
+    mode: str,
+) -> Dict[int, object]:
+    key = (ctx_spec[0], mask_spec[0] if mask_spec else None, idf_spec[0] if idf_spec else None, mode)
+    table = _profiles.get(key)
+    if table is None:
+        _profiles[key] = table = {}
+    return table
+
+
+def _tfidf_profile(o, tok_ptr, tok_ids, tok_counts, mask, idf) -> Optional[SparseVector]:
+    """The TF-IDF vector of one ordinal, mirroring ``_build_from_context``.
+
+    Same exact integers (ids/counts ascending by token id), same term-
+    frequency expression, same driver-computed idf floats, same ``fsum``
+    norm: the resulting :class:`SparseVector` is the very ``weight_map`` the
+    profile store would hand to :func:`weighted_cosine`.  ``None`` stands
+    for an empty profile (scored as an empty mapping, like the store's).
+    """
+    lo, hi = tok_ptr[o], tok_ptr[o + 1]
+    if mask is None:
+        kept = list(zip(tok_ids[lo:hi], tok_counts[lo:hi]))
+    else:
+        kept = [
+            (token_id, count)
+            for token_id, count in zip(tok_ids[lo:hi], tok_counts[lo:hi])
+            if mask[token_id]
+        ]
+    if not kept:
+        return None
+    max_count = max(count for _, count in kept)
+    weights = [
+        (0.5 + 0.5 * count / max_count) * idf[token_id] for token_id, count in kept
+    ]
+    norm = math.sqrt(math.fsum(w * w for w in weights))
+    return SparseVector(
+        ((token_id, weight) for (token_id, _), weight in zip(kept, weights)),
+        norm=norm,
+    )
+
+
+def _set_profile(o, tok_ptr, tok_ids, mask) -> frozenset:
+    ids = tok_ids[tok_ptr[o] : tok_ptr[o + 1]]
+    if mask is None:
+        return frozenset(ids)
+    return frozenset(token_id for token_id in ids if mask[token_id])
+
+
+def similarity_scores_job(args) -> array:
+    """Similarity of one contiguous slice of an ordinal-pair batch."""
+    ctx_spec, mask_spec, idf_spec, mode, similarity_name, first, second = args
+    views = _segment(ctx_spec).views
+    tok_ptr = views["tok_ptr"]
+    tok_ids = views["tok_ids"]
+    tok_counts = views["tok_counts"]
+    mask = _segment(mask_spec).views["mask"] if mask_spec is not None else None
+    idf = _segment(idf_spec).views["idf"] if idf_spec is not None else None
+    table = _profile_table(ctx_spec, mask_spec, idf_spec, mode)
+    scores = array("d")
+    if mode == "tfidf":
+        for a, b in zip(first, second):
+            vector_a = table.get(a, False)
+            if vector_a is False:
+                table[a] = vector_a = _tfidf_profile(a, tok_ptr, tok_ids, tok_counts, mask, idf)
+            vector_b = table.get(b, False)
+            if vector_b is False:
+                table[b] = vector_b = _tfidf_profile(b, tok_ptr, tok_ids, tok_counts, mask, idf)
+            scores.append(weighted_cosine(vector_a or {}, vector_b or {}))
+    else:
+        for a, b in zip(first, second):
+            set_a = table.get(a)
+            if set_a is None:
+                table[a] = set_a = _set_profile(a, tok_ptr, tok_ids, mask)
+            set_b = table.get(b)
+            if set_b is None:
+                table[b] = set_b = _set_profile(b, tok_ptr, tok_ids, mask)
+            scores.append(
+                _set_score(similarity_name, len(set_a), len(set_b), len(set_a & set_b))
+            )
+    return scores

@@ -108,13 +108,23 @@ class MatchingEngine:
         (zero re-tokenisation), and transient descriptions (merges) fall
         back to tokenising into the shared vocabulary.  Decisions are
         bit-identical with or without a context.
+    parallel:
+        Optional :class:`~repro.mapreduce.parallel.ParallelEngine`.  When
+        given (together with a context), :meth:`similarity_scores` batches
+        whose descriptions all resolve to context ordinals are scored by
+        worker processes over the context's shared columns -- bit-identical
+        to the single-process batch path.  Batches touching transient
+        descriptions (e.g. merges), or of fewer than two pairs, silently
+        stay single-process.
 
     Notes
     -----
     An engine instance owns one :class:`~repro.text.profile_store.ProfileStore`
     bound to the first input data it sees; it is meant to live for one
     workflow run (one dataset).  :attr:`last_engine` reports which engine
-    actually executed the most recent call (``"batch"`` or ``"pairwise"``).
+    actually executed the most recent call (``"batch"``, ``"pairwise"``, or
+    ``"parallel"`` when a :class:`~repro.mapreduce.parallel.ParallelEngine`
+    scored the batch).
     """
 
     def __init__(
@@ -123,6 +133,7 @@ class MatchingEngine:
         engine: str = "batch",
         use_numpy: Optional[bool] = None,
         context=None,
+        parallel=None,
     ) -> None:
         if engine not in MATCHING_ENGINES:
             raise ValueError(f"unknown engine {engine!r}; available: {MATCHING_ENGINES}")
@@ -134,6 +145,7 @@ class MatchingEngine:
         self.matcher = matcher
         self.engine = engine
         self.context = context
+        self.parallel = parallel
         self._use_numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
         self._store: Optional[ProfileStore] = None
         self._store_source: Optional[object] = None
@@ -298,9 +310,40 @@ class MatchingEngine:
                 "per-pair oracle"
             )
         self.last_engine = "batch"
+        if self.parallel is not None and self.context is not None and len(pairs) > 1:
+            ordinal_pairs = self._resolve_ordinals(pairs)
+            if ordinal_pairs is not None:
+                self.last_engine = "parallel"
+                return self.parallel.similarity_scores(
+                    self.context, self.matcher, ordinal_pairs
+                )
         store = self._store_for(None)
         profiles = [(store.profile(first), store.profile(second)) for first, second in pairs]
         return self._score(store, profiles)
+
+    def _resolve_ordinals(
+        self,
+        pairs: Sequence[Tuple[EntityDescription, EntityDescription]],
+    ) -> Optional[List[Tuple[int, int]]]:
+        """The context ordinals of every pair, or ``None`` if any description
+        is not the context's own object (e.g. a transient merge, whose tokens
+        the shared columns do not carry)."""
+        context = self.context
+        ordinal_of = context.ordinal
+        description_of = context.description
+        ordinal_pairs: List[Tuple[int, int]] = []
+        for first, second in pairs:
+            a = ordinal_of(first.identifier)
+            b = ordinal_of(second.identifier)
+            if (
+                a is None
+                or b is None
+                or description_of(a) is not first
+                or description_of(b) is not second
+            ):
+                return None
+            ordinal_pairs.append((a, b))
+        return ordinal_pairs
 
     def decide_columns(
         self,

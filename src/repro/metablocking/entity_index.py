@@ -49,6 +49,7 @@ from math import fsum
 from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.blocking.base import BlockCollection
+from repro.datamodel.pairs import identifier_ranks
 from repro.metablocking.graph import WeightedEdge
 
 try:  # pragma: no cover - exercised implicitly when numpy is installed
@@ -176,14 +177,73 @@ class EntityIndexEngine:
             self._np_ent_side = (
                 _np.frombuffer(ent_side, dtype=_np.int8) if ent_side else _np.zeros(0, _np.int8)
             )
-            self._np_ids = _np.array(ids) if ids else _np.zeros(0, dtype="U1")
 
         self._degree_cache: Optional[Tuple[array, int]] = None
-        self._factor_cache: Dict[str, List[float]] = {}
+        self._factor_cache: Dict[str, Sequence[float]] = {}
+        self._rank_cache: Optional[Sequence[int]] = None
+
+        #: optional override of the node-weight stream: a callable
+        #: ``(scheme, lower) -> iterator of (i, neighbours, weights)`` that
+        #: replaces the local :meth:`_node_weights` pass over the full node
+        #: range.  The multi-process engine installs one that fans the pass
+        #: out to workers over shared-memory views of this index; the pruning
+        #: passes are oblivious to where the per-node tuples come from.
+        self.node_weights_source = None
 
         #: statistics of the last fully-consumed run
         self.last_num_edges: Optional[int] = None
         self.last_retained: Optional[int] = None
+
+    @classmethod
+    def from_arrays(
+        cls,
+        columns: Dict[str, Sequence],
+        use_numpy: bool,
+        factors: Optional[Dict[str, Sequence[float]]] = None,
+    ) -> "EntityIndexEngine":
+        """Reconstruct a weighting-only replica from exported flat columns.
+
+        Used by the parallel workers: the driver ships the CSR arrays (plus
+        the identifier-rank column and any precomputed ECBS/EJS factor
+        column) through shared memory, and the worker rebuilds an engine that
+        can run ranged :meth:`_node_weights` passes over zero-copy views --
+        no identifier strings, no block objects.  Only the weighting paths
+        are populated; pruning-side methods (which need the identifier
+        table) must not be called on a replica.
+        """
+        self = cls.__new__(cls)
+        self.blocks = None
+        self._ids = None
+        self._ordinal = None
+        self._blk_ents = columns["blk_ents"]
+        self._blk_ptr = columns["blk_ptr"]
+        self._blk_split = columns["blk_split"]
+        self._recip = columns["recip"]
+        self._ent_ptr = columns["ent_ptr"]
+        self._ent_blocks = columns["ent_blocks"]
+        self._ent_side = columns["ent_side"]
+        self.num_entities = len(columns["ent_ptr"]) - 1
+        self.num_blocks = len(columns["blk_ptr"]) - 1
+        self.num_assignments = len(columns["blk_ents"])
+        self._use_numpy = use_numpy and _np is not None
+        if self._use_numpy:
+            as_np = lambda col, dtype: (
+                _np.asarray(col, dtype=dtype) if len(col) else _np.zeros(0, dtype)
+            )
+            self._np_blk_ents = as_np(self._blk_ents, _np.int64)
+            self._np_blk_ptr = as_np(self._blk_ptr, _np.int64)
+            self._np_blk_split = as_np(self._blk_split, _np.int64)
+            self._np_recip = as_np(self._recip, _np.float64)
+            self._np_ent_ptr = as_np(self._ent_ptr, _np.int64)
+            self._np_ent_blocks = as_np(self._ent_blocks, _np.int64)
+            self._np_ent_side = as_np(self._ent_side, _np.int8)
+        self._degree_cache = None
+        self._factor_cache = dict(factors) if factors else {}
+        self._rank_cache = columns["ranks"]
+        self.node_weights_source = None
+        self.last_num_edges = None
+        self.last_retained = None
+        return self
 
     # ------------------------------------------------------------------
     # structure
@@ -294,6 +354,19 @@ class EntityIndexEngine:
         neighbours, counts = np.unique(cat, return_counts=True)
         return neighbours, counts, None
 
+    def _ranks(self) -> Sequence[int]:
+        """Identifier ranks: comparing ranks == comparing identifier strings.
+
+        The ECBS/EJS weigh kernels need the *canonical* (lexicographic
+        identifier) operand order per edge; ranks reduce that to integer
+        comparisons over a column computed once -- which also lets worker
+        replicas (:meth:`from_arrays`), which carry no identifier strings at
+        all, reproduce the exact same operand order from the shipped column.
+        """
+        if self._rank_cache is None:
+            self._rank_cache = identifier_ranks(self._ids)
+        return self._rank_cache
+
     def _degrees(self) -> Tuple[array, int]:
         """Per-node distinct-neighbour counts and the total edge count."""
         if self._degree_cache is not None:
@@ -319,6 +392,37 @@ class EntityIndexEngine:
                     cbs[j] = 0
         self._degree_cache = (degrees, num_edges)
         return self._degree_cache
+
+    def _partial_degrees(self, start: int, stop: int) -> Tuple[array, int]:
+        """Degree contributions of the nodes in ``[start, stop)``.
+
+        One ranged slice of the :meth:`_degrees` pass: a full-length degree
+        column holding both endpoints' counts for every edge whose lower
+        endpoint lies in the range, plus the number of those edges.  Summing
+        the partial columns (and edge counts) of a disjoint cover of the node
+        range reproduces :meth:`_degrees` exactly -- integer additions
+        commute -- which is how the parallel engine computes the EJS degree
+        column without ever running the full pass in one process.
+        """
+        num_edges = 0
+        if self._use_numpy:
+            np_degrees = _np.zeros(self.num_entities, dtype=_np.int64)
+            for i in range(start, stop):
+                neighbours, _counts, _arcs = self._gather_node(i, lower=True, want_arcs=False)
+                np_degrees[i] += len(neighbours)
+                _np.add.at(np_degrees, neighbours, 1)
+                num_edges += len(neighbours)
+            return array("q", np_degrees.tobytes()), num_edges
+        degrees = _int_array(self.num_entities)
+        cbs = [0] * self.num_entities
+        for i in range(start, stop):
+            touched = self._scan_node(i, cbs, None, lower=True)
+            degrees[i] += len(touched)
+            num_edges += len(touched)
+            for j in touched:
+                degrees[j] += 1
+                cbs[j] = 0
+        return degrees, num_edges
 
     # ------------------------------------------------------------------
     # weighting
@@ -355,9 +459,9 @@ class EntityIndexEngine:
 
         The arithmetic mirrors :mod:`repro.metablocking.weighting` exactly,
         including operand order (the graph engine multiplies the per-node
-        discount factors in canonical identifier order).
+        discount factors in canonical identifier order, here realised through
+        the precomputed rank column).
         """
-        ids = self._ids
         ent_ptr = self._ent_ptr
 
         if scheme == "CBS":
@@ -368,10 +472,11 @@ class EntityIndexEngine:
 
         if scheme in ("ECBS", "EJS"):
             factor = self._factors(scheme)
+            ranks = self._ranks()
             if scheme == "ECBS":
 
                 def weigh(i: int, j: int, shared: int, arcs: float) -> float:
-                    if ids[i] > ids[j]:
+                    if ranks[i] > ranks[j]:
                         i, j = j, i
                     return shared * factor[i] * factor[j]
 
@@ -384,7 +489,7 @@ class EntityIndexEngine:
                         - shared
                     )
                     jaccard = shared / union if union else 0.0
-                    if ids[i] > ids[j]:
+                    if ranks[i] > ranks[j]:
                         i, j = j, i
                     return jaccard * factor[i] * factor[j]
 
@@ -431,12 +536,12 @@ class EntityIndexEngine:
             return weigh
 
         factors = np.asarray(self._factors(scheme))
-        ids = self._np_ids
+        ranks = np.asarray(self._ranks())
 
         if scheme == "ECBS":
 
             def weigh(i, neighbours, counts, arcs):
-                swap = ids[neighbours] < ids[i]  # neighbour is the canonical "first"
+                swap = ranks[neighbours] < ranks[i]  # neighbour is the canonical "first"
                 other = factors[neighbours]
                 first = np.where(swap, other, factors[i])
                 second = np.where(swap, factors[i], other)
@@ -449,7 +554,7 @@ class EntityIndexEngine:
             nb_i = int(ent_ptr[i + 1] - ent_ptr[i])
             union = nb_i + (ent_ptr[neighbours + 1] - ent_ptr[neighbours]) - counts
             jaccard = counts / union
-            swap = ids[neighbours] < ids[i]
+            swap = ranks[neighbours] < ranks[i]
             other = factors[neighbours]
             first = np.where(swap, other, factors[i])
             second = np.where(swap, factors[i], other)
@@ -457,18 +562,31 @@ class EntityIndexEngine:
 
         return weigh
 
-    def _node_weights(self, scheme: str, lower: bool) -> Iterator[Tuple[int, Sequence[int], Sequence[float]]]:
+    def _node_weights(
+        self, scheme: str, lower: bool, start: int = 0, stop: Optional[int] = None
+    ) -> Iterator[Tuple[int, Sequence[int], Sequence[float]]]:
         """Per node, its (restricted) neighbourhood and the edge weights.
 
         Yields ``(i, neighbours, weights)`` with neighbours sorted ascending;
         nodes whose restricted neighbourhood is empty are skipped.  NumPy
         path yields arrays, the fallback yields lists -- weights are
         bit-identical either way.
+
+        ``start``/``stop`` restrict the pass to a node-ordinal range (the
+        neighbourhoods themselves still span all nodes) -- the unit of work
+        of one parallel worker.  A full-range pass is delegated to
+        :attr:`node_weights_source` when one is installed, so the pruning
+        passes transparently consume worker-computed streams.
         """
+        if self.node_weights_source is not None and start == 0 and stop is None:
+            yield from self.node_weights_source(scheme, lower)
+            return
+        if stop is None:
+            stop = self.num_entities
         want_arcs = scheme == "ARCS"
         if self._use_numpy:
             weigh = self._weigh_vector_factory(scheme)
-            for i in range(self.num_entities):
+            for i in range(start, stop):
                 neighbours, counts, arcs = self._gather_node(i, lower, want_arcs)
                 if len(neighbours) == 0:
                     continue
@@ -477,7 +595,7 @@ class EntityIndexEngine:
             weigh = self._weigh_scalar_factory(scheme)
             cbs = [0] * self.num_entities
             arcs = [0.0] * self.num_entities if want_arcs else None
-            for i in range(self.num_entities):
+            for i in range(start, stop):
                 touched = self._scan_node(i, cbs, arcs, lower)
                 if not touched:
                     continue

@@ -105,7 +105,8 @@ class MetaBlocking:
         self.last_input_comparisons = 0
         self.last_graph_edges = 0
         self.last_retained_edges = 0
-        #: engine that actually executed the last run ("index" or "graph")
+        #: engine that actually executed the last run ("index", "graph", or
+        #: "parallel" when a ParallelEngine fed the index engine's weights)
         self.last_engine: Optional[str] = None
 
     @property
@@ -143,21 +144,33 @@ class MetaBlocking:
         return None
 
     # ------------------------------------------------------------------
-    def iter_retained(self, blocks: BlockCollection) -> Iterator[WeightedEdge]:
+    def iter_retained(
+        self, blocks: BlockCollection, parallel=None
+    ) -> Iterator[WeightedEdge]:
         """Lazily yield the edges surviving the pruning scheme.
 
         With the index engine, pruned edges are never materialised and peak
         memory stays proportional to the largest node neighbourhood.  The
         last-run statistics are populated once the generator is exhausted.
+
+        ``parallel`` (a :class:`~repro.mapreduce.parallel.ParallelEngine`)
+        fans the node-weight streams of the index engine out to worker
+        processes over shared-memory views of the CSR index; the pruning
+        passes and the retained edges are bit-identical either way.  It is
+        ignored on the graph engine (custom schemes have no columnar
+        formulation) and for empty collections.
         """
         self.last_input_comparisons = blocks.total_comparisons()
         self.last_graph_edges = 0
         self.last_retained_edges = 0
         spec = self._index_spec() if self.engine == "index" else None
         if spec is not None:
-            self.last_engine = "index"
             weighting_name, pruning_name, kwargs = spec
             index = EntityIndexEngine(blocks)
+            if parallel is not None and parallel.install_node_weights(index):
+                self.last_engine = "parallel"
+            else:
+                self.last_engine = "index"
             yield from index.iter_retained(weighting_name, pruning_name, **kwargs)
             self.last_graph_edges = index.last_num_edges or 0
             self.last_retained_edges = index.last_retained or 0
@@ -184,7 +197,7 @@ class MetaBlocking:
         return [edge.as_comparison() for edge in edges]
 
     def weighted_columns(
-        self, blocks: BlockCollection, context=None
+        self, blocks: BlockCollection, context=None, parallel=None
     ) -> ComparisonColumns:
         """The retained edges as :class:`ComparisonColumns`, heaviest first.
 
@@ -194,7 +207,8 @@ class MetaBlocking:
         instead of per-edge objects, the natural input of the array
         scheduling engine.  With a shared ``context`` the ordinal space is
         the context's (and the columns carry its resolved description
-        table); otherwise identifiers are interned locally.
+        table); otherwise identifiers are interned locally.  ``parallel``
+        is forwarded to :meth:`iter_retained`.
         """
         first = array("q")
         second = array("q")
@@ -203,7 +217,7 @@ class MetaBlocking:
             ids = context.ids
             ordinal_of = context.ordinal
             descriptions = context.descriptions
-            for edge in self.iter_retained(blocks):
+            for edge in self.iter_retained(blocks, parallel=parallel):
                 left = ordinal_of(edge.first)
                 right = ordinal_of(edge.second)
                 if left is None or right is None:
@@ -219,7 +233,7 @@ class MetaBlocking:
             intern = OrdinalInterner()
             ids = intern.ids
             descriptions = None
-            for edge in self.iter_retained(blocks):
+            for edge in self.iter_retained(blocks, parallel=parallel):
                 first.append(intern(edge.first))
                 second.append(intern(edge.second))
                 weights.append(edge.weight)

@@ -96,6 +96,21 @@ class TestEngine:
         )
         assert set(outputs) == {("a", 8)}
 
+    def test_pair_statistics_separate_map_and_shuffle_volume(self):
+        # each record maps to 4 ("a", 1) pairs; a collapsing combiner sends
+        # exactly one pair per worker across the shuffle
+        records = ["a a a a", "a a a a"]
+        _, with_combiner = MapReduceEngine(num_workers=2, use_combiner=True).run(
+            WordCountJob(), records
+        )
+        assert with_combiner.num_intermediate_pairs == 8
+        assert with_combiner.num_combined_pairs == 2
+        _, without_combiner = MapReduceEngine(num_workers=2, use_combiner=False).run(
+            WordCountJob(), records
+        )
+        assert without_combiner.num_intermediate_pairs == 8
+        assert without_combiner.num_combined_pairs == 8
+
 
 class TestParallelTokenBlocking:
     def test_blocks_match_sequential_token_blocking(self, small_dirty_dataset):
@@ -116,6 +131,24 @@ class TestParallelTokenBlocking:
         _, one = ParallelTokenBlocking().build(collection, MapReduceEngine(num_workers=1))
         _, eight = ParallelTokenBlocking().build(collection, MapReduceEngine(num_workers=8))
         assert eight.speedup > one.speedup
+
+    def test_member_limit_matches_sequential_builder(self):
+        # 0.3 * 10 evaluates to 2.999...96 in binary floating point: the
+        # limit must still admit the 3-member block, exactly like the
+        # sequential builder's tolerant floor
+        from repro.datamodel.collection import EntityCollection
+        from repro.datamodel.description import EntityDescription
+
+        descriptions = [
+            EntityDescription(f"s{i}", {"name": f"shared unique{i}"}) for i in range(3)
+        ] + [EntityDescription(f"f{i}", {"name": f"filler{i}"}) for i in range(7)]
+        collection = EntityCollection(descriptions, name="limit")
+        sequential = TokenBlocking(max_block_fraction=0.3).build(collection)
+        parallel, _ = ParallelTokenBlocking(max_block_fraction=0.3).build(
+            collection, MapReduceEngine(num_workers=4)
+        )
+        assert any(len(block) == 3 for block in sequential)
+        assert parallel.distinct_pairs() == sequential.distinct_pairs()
 
 
 class TestParallelMetaBlocking:
