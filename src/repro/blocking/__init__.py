@@ -27,7 +27,7 @@ Building and cleaning run behind
 :class:`~repro.blocking.engine.BlockingEngine`, which follows the two-engine
 pattern of :mod:`repro.metablocking` and :mod:`repro.matching`:
 
-* ``engine="index"`` (the default) executes the token-based builders and the
+* ``engine="index"`` (the default) executes every builtin builder and the
   three cleaners on flat integer arrays.  Tokens are interned once per
   collection into dense ids by a
   :class:`~repro.text.profile_store.ProfileStore`, the inverted key index
@@ -45,10 +45,28 @@ pattern of :mod:`repro.metablocking` and :mod:`repro.matching`:
   integers instead of canonical string tuples.
 * ``engine="oracle"`` runs the legacy per-``dict``/``set`` builders and
   cleaners below, which stay the readable reference implementation, the
-  equivalence-suite oracle, and the automatic fallback for custom schemes.
+  equivalence-suite oracle, and the automatic fallback for custom schemes
+  (announced by a one-time :class:`RuntimeWarning` naming the scheme).
 
 Both engines produce block-for-block identical collections; see
 :mod:`repro.blocking.engine` for the exact layout and guarantees.
+
+Tie rules pinned by the array engines
+-------------------------------------
+
+The long-tail builders fix (and the bit-identity suite pins) the orderings
+that make both engines reproducible:
+
+* **sorted neighbourhood** (all three variants): entries sort by
+  ``(key, identifier)``; windows keep members in sorted-entry order and the
+  multi-pass variant prefixes window keys with the pass index.
+* **canopy**: centre selection is the seeded shuffle of the input order,
+  and every centre scans candidates in that same shuffled order.
+* **minhash/LSH**: band keys order lexicographically by their formatted
+  key string; per-band member order is description (posting) order.
+* **similarity join**: tokens rank by ``(document frequency, token)``,
+  records process shortest-first with identifier tie-breaks, and verified
+  pairs emit in canonical pair order.
 """
 
 from repro.blocking.base import Block, BlockBuilder, BlockCollection
@@ -66,6 +84,7 @@ from repro.blocking.multiblock import MultidimensionalBlocking
 from repro.blocking.similarity_join import SimilarityJoinBlocking
 from repro.blocking.sorted_neighborhood import (
     ExtendedSortedNeighborhoodBlocking,
+    MultiPassSortedNeighborhoodBlocking,
     SortedNeighborhoodBlocking,
     sorted_order,
 )
@@ -101,6 +120,7 @@ __all__ = [
     "ExtendedSortedNeighborhoodBlocking",
     "MinHashLSHBlocking",
     "MinHashSignature",
+    "MultiPassSortedNeighborhoodBlocking",
     "MultidimensionalBlocking",
     "PrefixInfixSuffixBlocking",
     "QGramsBlocking",

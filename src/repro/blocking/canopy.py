@@ -6,18 +6,31 @@ threshold of a canopy centre are removed from the candidate pool, while
 descriptions within the *loose* threshold are added to the canopy but remain
 candidates for other canopies.  It is the classical cheap-similarity blocking
 baseline for records without a reliable blocking key.
+
+Determinism: the centre selection order is the seeded shuffle of the input
+order, and every centre scans the surviving candidates in that same
+shuffled order -- so the canopies (keys, member order, tie behaviour) are a
+pure function of the input order and the seed, independent of Python's
+per-process string hashing.
 """
 
 from __future__ import annotations
 
 import random
-from typing import Dict, List, Optional, Sequence, Set
+from array import array
+from typing import Dict, List, Set
 
 from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
+from repro.blocking.columns import TokenColumnView, append_posting
 from repro.datamodel.collection import CleanCleanTask
 from repro.datamodel.description import EntityDescription
 from repro.text.similarity import jaccard_similarity
 from repro.text.tokenize import DEFAULT_STOP_WORDS, token_set
+
+try:  # pragma: no cover - exercised implicitly when numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 
 class CanopyClusteringBlocking(BlockBuilder):
@@ -85,7 +98,11 @@ class CanopyClusteringBlocking(BlockBuilder):
             center_tokens = token_index[center]
             members = [center]
             removed: List[str] = []
-            for candidate in list(remaining):
+            # candidates are scanned in the shuffled pool order, so member
+            # order (and with it the emitted blocks) is deterministic
+            for candidate in pool:
+                if candidate not in remaining:
+                    continue
                 similarity = jaccard_similarity(center_tokens, token_index[candidate])
                 if similarity >= self.loose_threshold:
                     members.append(candidate)
@@ -106,3 +123,109 @@ class CanopyClusteringBlocking(BlockBuilder):
             else:
                 collection.add(Block(key, members=members))
         return collection
+
+
+# ----------------------------------------------------------------------
+# array build (dispatched by repro.blocking.engine.BlockingEngine)
+# ----------------------------------------------------------------------
+def _index_build(
+    builder: CanopyClusteringBlocking, data: ERInput, context, use_numpy: bool
+) -> BlockCollection:
+    """Array build: canopy selection over token postings instead of pair calls.
+
+    Per centre, the intersection sizes against *every* description come from
+    one pass over the centre's token postings (a shared-count accumulation,
+    vectorised as a ``bincount`` over the concatenated postings when NumPy
+    is available); the Jaccard values are the same ``shared / (|a| + |b| -
+    shared)`` integer divisions the oracle computes per pair, so thresholds
+    and tie behaviour agree bit-for-bit.  The shuffled centre order is
+    identical because ``random.Random.shuffle`` permutes by position,
+    regardless of the list's contents.
+    """
+    view = TokenColumnView.build(data, context, builder.stop_words, builder.min_token_length)
+    columns = view.columns
+    n = len(columns)
+    collection = BlockCollection(name=builder.name)
+    if n == 0:
+        return collection
+
+    rng = random.Random(builder.seed)
+    pool = list(range(n))
+    rng.shuffle(pool)
+    in_pool = bytearray([1]) * n
+
+    sizes = [len(column) for column in columns]
+    postings: Dict[int, array] = {}
+    for ordinal, column in enumerate(columns):
+        for token_id in column:
+            append_posting(postings, token_id, ordinal)
+
+    np_mode = use_numpy and _np is not None
+    if np_mode:
+        np = _np
+        np_postings = {
+            token_id: np.frombuffer(posting, dtype=np.int64)
+            for token_id, posting in postings.items()
+        }
+        np_sizes = np.asarray(sizes, dtype=np.int64)
+
+    loose = builder.loose_threshold
+    tight = builder.tight_threshold
+    ids = view.ids
+    left_count = view.left_count
+    bilateral = left_count >= 0
+    canopy_index = 0
+
+    for center in pool:
+        if not in_pool[center]:
+            continue
+        in_pool[center] = 0
+        center_column = columns[center]
+        center_size = len(center_column)
+
+        if center_size == 0:
+            # Jaccard with an empty centre: 1.0 against other empty sets,
+            # 0.0 otherwise (the oracle's empty-set special cases)
+            similarities = [1.0 if sizes[o] == 0 else 0.0 for o in range(n)]
+        elif np_mode:
+            shared = np.bincount(
+                np.concatenate([np_postings[t] for t in center_column]), minlength=n
+            )
+            # denominators are >= center_size >= 1; candidates with an empty
+            # column get shared == 0, i.e. similarity 0.0, like the oracle
+            similarities = (shared / (center_size + np_sizes - shared)).tolist()
+        else:
+            shared_counts = [0] * n
+            for token_id in center_column:
+                for ordinal in postings[token_id]:
+                    shared_counts[ordinal] += 1
+            similarities = [
+                shared_counts[o] / (center_size + sizes[o] - shared_counts[o])
+                for o in range(n)
+            ]
+
+        members = [center]
+        removed: List[int] = []
+        for candidate in pool:
+            if not in_pool[candidate]:
+                continue
+            similarity = similarities[candidate]
+            if similarity >= loose:
+                members.append(candidate)
+                if similarity >= tight:
+                    removed.append(candidate)
+        for candidate in removed:
+            in_pool[candidate] = 0
+
+        if len(members) < 2:
+            continue
+        key = f"canopy:{canopy_index}"
+        canopy_index += 1
+        if bilateral:
+            left = [ids[o] for o in members if o < left_count]
+            right = [ids[o] for o in members if o >= left_count]
+            if left and right:
+                collection.add(Block(key, left_members=left, right_members=right))
+        else:
+            collection.add(Block(key, members=[ids[o] for o in members]))
+    return collection

@@ -1,0 +1,170 @@
+"""Shared per-entity token-id columns for the array blocking engines.
+
+The long-tail scheme families (minhash/LSH, canopy, the similarity
+self-join) all start from the same view of the input: one sorted distinct
+token-id column per description, admitted through the builder's stop words
+and minimum token length.  :class:`TokenColumnView` materialises that view
+either
+
+* **from a shared context** -- the per-description columns are the
+  :class:`~repro.core.context.PipelineContext` interned counts filtered by
+  the cached :class:`~repro.core.context.TokenFilter` mask, so no raw
+  string is touched (the single-interning guarantee), or
+* **from the raw data** -- one ``token_set`` pass per description with a
+  local vocabulary, exactly the tokenisation the oracle builders pay.
+
+Both sources produce identical *token sets* per description; only the
+integer ids differ (context ids are global interning order, local ids are
+first-occurrence order).  The array builds never compare ids across the
+two sources -- ids reach strings only through :meth:`TokenColumnView.token_of`
+-- so the choice of source never changes a build's output.
+
+The posting/emission helpers (:func:`append_posting`, :func:`add_block`)
+are the shared tail of every array build: ascending ordinal postings
+materialised into :class:`~repro.blocking.base.Block` objects with the
+oracle's degenerate-block rules.
+"""
+
+from __future__ import annotations
+
+from array import array
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
+from repro.datamodel.collection import CleanCleanTask
+from repro.text.tokenize import token_set
+
+
+def append_posting(postings: Dict, key, ordinal: int) -> None:
+    """Append ``ordinal`` to the posting of ``key``, creating it if new."""
+    posting = postings.get(key)
+    if posting is None:
+        postings[key] = posting = array("q")
+    posting.append(ordinal)
+
+
+def add_block(
+    collection: BlockCollection,
+    key: str,
+    posting: Sequence[int],
+    ids: Sequence[str],
+    left_count: int,
+) -> None:
+    """Materialise one block from a posting of description ordinals.
+
+    ``left_count`` is the number of left-side descriptions for clean--clean
+    input (ordinals below it belong to the left collection, and postings are
+    ascending so left members come first), or ``-1`` for dirty input.
+    Degenerate blocks are dropped exactly as by
+    ``BlockBuilder._blocks_from_key_index``.
+    """
+    if left_count >= 0:
+        left = [ids[o] for o in posting if o < left_count]
+        right = [ids[o] for o in posting if o >= left_count]
+        if left and right:
+            collection.add(Block(key, left_members=left, right_members=right))
+    elif len(posting) >= 2:
+        collection.add(Block(key, members=[ids[o] for o in posting]))
+
+
+class TokenColumnView:
+    """Sorted distinct admitted token-id columns, one per description.
+
+    Attributes
+    ----------
+    ids:
+        Identifier of every description, indexed by ordinal (the
+        ``BlockBuilder._iter_with_side`` order: left before right for
+        clean--clean input).
+    left_count:
+        Number of left-side descriptions for clean--clean input (ordinals
+        below it are left-side), ``-1`` for dirty input.
+    columns:
+        Per description: the ascending distinct token ids admitted by the
+        builder's stop words and minimum token length.
+    num_tokens:
+        Size of the id space: every column id is below it (the context's
+        vocabulary size, or the local vocabulary's).
+    """
+
+    __slots__ = ("ids", "left_count", "columns", "num_tokens", "_token_of")
+
+    def __init__(
+        self,
+        ids: Sequence[str],
+        left_count: int,
+        columns: List[array],
+        num_tokens: int,
+        token_of: Callable[[int], str],
+    ) -> None:
+        self.ids = ids
+        self.left_count = left_count
+        self.columns = columns
+        self.num_tokens = num_tokens
+        self._token_of = token_of
+
+    def token_of(self, token_id: int) -> str:
+        """The token string behind ``token_id``."""
+        return self._token_of(token_id)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self.columns)
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_context(
+        cls, context, stop_words: Optional[frozenset], min_token_length: int
+    ) -> "TokenColumnView":
+        """The view over a shared context's interned columns -- no tokenisation."""
+        token_filter = context.token_filter(stop_words, min_token_length)
+        select = token_filter.select
+        columns = [
+            select(context.token_counts(ordinal)[0])
+            for ordinal in range(context.num_descriptions)
+        ]
+        return cls(
+            context.ids,
+            context.left_count,
+            columns,
+            context.vocabulary_size,
+            context.token,
+        )
+
+    @classmethod
+    def from_data(
+        cls, data: ERInput, stop_words: Optional[frozenset], min_token_length: int
+    ) -> "TokenColumnView":
+        """The view from the raw descriptions -- one ``token_set`` pass each."""
+        token_ids: Dict[str, int] = {}
+        tokens: List[str] = []
+        ids: List[str] = []
+        columns: List[array] = []
+        for _side, description in BlockBuilder._iter_with_side(data):
+            ids.append(description.identifier)
+            column = array("q")
+            for token in token_set(
+                description.values(), stop_words=stop_words, min_length=min_token_length
+            ):
+                token_id = token_ids.get(token)
+                if token_id is None:
+                    token_id = len(tokens)
+                    token_ids[token] = token_id
+                    tokens.append(token)
+                column.append(token_id)
+            columns.append(array("q", sorted(column)))
+        left_count = len(data.left) if isinstance(data, CleanCleanTask) else -1
+        return cls(ids, left_count, columns, len(tokens), tokens.__getitem__)
+
+    @classmethod
+    def build(
+        cls,
+        data: ERInput,
+        context,
+        stop_words: Optional[frozenset],
+        min_token_length: int,
+    ) -> "TokenColumnView":
+        """From the context when it is usable for ``data``, else from the data."""
+        if context is not None and context.owns(data):
+            return cls.from_context(context, stop_words, min_token_length)
+        return cls.from_data(data, stop_words, min_token_length)

@@ -47,13 +47,22 @@ one interface, following the established two-engine pattern:
     tuples, emitting first-occurrence pair blocks in the oracle's exact
     order.
 
+  **Long-tail families**: the minhash/LSH, canopy, sorted-neighbourhood
+  (single-, extended- and multi-pass) and similarity-self-join schemes have
+  array builds in their own modules, dispatched through ``_ARRAY_BUILDS``
+  with the same exact-type rule and the same signature -- signatures as one
+  integer matrix, canopies from token postings, windows from one sorted
+  pass, prefix filtering over sorted-id columns with columnar verification.
+
 * ``engine="oracle"`` -- delegates to the legacy builders/cleaners, which
   remain the readable reference implementation, the test oracle of the
   equivalence suite (``tests/test_blocking_equivalence.py``), and the
   automatic fallback for every scheme the index engine does not natively
   support: custom :class:`~repro.blocking.base.BlockBuilder` implementations,
-  subclasses of the three token builders (whose overridden ``tokens_of``
-  the columnar path cannot see), and subclasses of the cleaner classes.
+  subclasses of the supported builders (whose overridden ``tokens_of`` /
+  ``build`` the columnar path cannot see), and subclasses of the cleaner
+  classes.  Falling back from ``engine="index"`` emits a one-time
+  :class:`RuntimeWarning` naming the scheme, so the cliff is visible.
 
 Both engines produce block-for-block identical collections -- same blocks,
 same deterministic key order, same member order within every block -- so
@@ -66,16 +75,31 @@ engines reject).
 from __future__ import annotations
 
 import math
+import warnings
 from array import array
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
+from repro.blocking.canopy import CanopyClusteringBlocking
+from repro.blocking.canopy import _index_build as _canopy_index_build
 from repro.blocking.cleaning import (
     BlockFiltering,
     BlockPurging,
     ComparisonPropagation,
     adaptive_cardinality_threshold,
 )
+from repro.blocking.columns import add_block as _add_block
+from repro.blocking.columns import append_posting as _append_posting
+from repro.blocking.minhash import MinHashLSHBlocking
+from repro.blocking.minhash import _index_build as _minhash_index_build
+from repro.blocking.similarity_join import SimilarityJoinBlocking
+from repro.blocking.similarity_join import _index_build as _join_index_build
+from repro.blocking.sorted_neighborhood import (
+    ExtendedSortedNeighborhoodBlocking,
+    MultiPassSortedNeighborhoodBlocking,
+    SortedNeighborhoodBlocking,
+)
+from repro.blocking.sorted_neighborhood import _index_build as _sn_index_build
 from repro.blocking.token_blocking import (
     AttributeClusteringBlocking,
     PrefixInfixSuffixBlocking,
@@ -100,39 +124,17 @@ BLOCKING_ENGINES = ("index", "oracle")
 #: cannot replicate, so they fall back to the oracle.
 _INDEX_BUILDERS = (TokenBlocking, PrefixInfixSuffixBlocking, AttributeClusteringBlocking)
 
-
-# ----------------------------------------------------------------------
-# index building
-# ----------------------------------------------------------------------
-def _append_posting(postings: Dict, key, ordinal: int) -> None:
-    posting = postings.get(key)
-    if posting is None:
-        postings[key] = posting = array("q")
-    posting.append(ordinal)
-
-
-def _add_block(
-    collection: BlockCollection,
-    key: str,
-    posting: Sequence[int],
-    ids: Sequence[str],
-    left_count: int,
-) -> None:
-    """Materialise one block from a posting of description ordinals.
-
-    ``left_count`` is the number of left-side descriptions for clean--clean
-    input (ordinals below it belong to the left collection, and postings are
-    ascending so left members come first), or ``-1`` for dirty input.
-    Degenerate blocks are dropped exactly as by
-    ``BlockBuilder._blocks_from_key_index``.
-    """
-    if left_count >= 0:
-        left = [ids[o] for o in posting if o < left_count]
-        right = [ids[o] for o in posting if o >= left_count]
-        if left and right:
-            collection.add(Block(key, left_members=left, right_members=right))
-    elif len(posting) >= 2:
-        collection.add(Block(key, members=[ids[o] for o in posting]))
+#: Long-tail scheme families with an array build in their own module.  Same
+#: exact-type rule as ``_INDEX_BUILDERS``; each build function has the
+#: signature ``(builder, data, context, use_numpy) -> BlockCollection``.
+_ARRAY_BUILDS = {
+    MinHashLSHBlocking: _minhash_index_build,
+    CanopyClusteringBlocking: _canopy_index_build,
+    SortedNeighborhoodBlocking: _sn_index_build,
+    ExtendedSortedNeighborhoodBlocking: _sn_index_build,
+    MultiPassSortedNeighborhoodBlocking: _sn_index_build,
+    SimilarityJoinBlocking: _join_index_build,
+}
 
 
 def _index_token_build(
@@ -731,12 +733,15 @@ class BlockingEngine:
         self._use_numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
         #: engine that actually executed the last build/clean call
         self.last_engine: Optional[str] = None
+        self._warned_fallback = False
 
     # ------------------------------------------------------------------
     @property
     def build_index_applicable(self) -> bool:
         """Whether :meth:`build` will run on the index engine."""
-        return self.engine == "index" and type(self.builder) in _INDEX_BUILDERS
+        return self.engine == "index" and (
+            type(self.builder) in _INDEX_BUILDERS or type(self.builder) in _ARRAY_BUILDS
+        )
 
     def build(self, data: ERInput) -> BlockCollection:
         """Build the blocks of ``data`` with the configured builder."""
@@ -745,6 +750,9 @@ class BlockingEngine:
             context = self.context
             if context is not None and not context.owns(data):
                 context = None
+            array_build = _ARRAY_BUILDS.get(type(self.builder))
+            if array_build is not None:
+                return array_build(self.builder, data, context, self._use_numpy)
             if type(self.builder) is AttributeClusteringBlocking:
                 return _index_attribute_clustering_build(self.builder, data, context)
             if (
@@ -757,6 +765,15 @@ class BlockingEngine:
                 return _emit_token_blocks(self.builder, context, postings)
             return _index_token_build(self.builder, data, context)
         self.last_engine = "oracle"
+        if self.engine == "index" and not self._warned_fallback:
+            self._warned_fallback = True
+            warnings.warn(
+                f"blocking scheme {type(self.builder).__name__} "
+                f"({self.builder.name!r}) has no index-engine implementation; "
+                "falling back to the object-path oracle build",
+                RuntimeWarning,
+                stacklevel=2,
+            )
         return self.builder.build(data)
 
     def clean(

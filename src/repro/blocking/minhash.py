@@ -13,16 +13,37 @@ around the similarity threshold ``(1/b)^(1/r)``.
 Compared to the exact prefix-filtering join (:mod:`repro.blocking.similarity_join`)
 LSH blocking trades exactness for an indexing cost that is linear in the
 number of descriptions and independent of the pair-similarity distribution.
+
+Seed handling
+-------------
+The whole hash family derives from the single ``seed`` argument: one
+``random.Random(seed)`` stream yields the per-permutation coefficient pairs
+``(a_i, b_i)`` in interleaved order (``a_0, b_0, a_1, b_1, ...``), with
+``a_i`` uniform on ``[1, 2**32 - 1]`` and ``b_i`` uniform on
+``[0, 2**61 - 2]``.  Keeping the multipliers in 32 bits bounds
+``a_i * h(token)`` by ``2**64`` for the 32-bit token hashes, so the
+vectorised engine can evaluate the identical family in ``uint64``
+arithmetic (``((a * h) % P + b) % P == (a * h + b) % P`` exactly, since
+``(a * h) % P + b < 2**62``).  Signatures are therefore reproducible
+bit-for-bit across the NumPy and pure-Python paths from the seed alone.
 """
 
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+import random
+from array import array
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
 
 from repro.blocking.base import Block, BlockBuilder, BlockCollection, ERInput
+from repro.blocking.columns import TokenColumnView, add_block, append_posting
 from repro.datamodel.description import EntityDescription
 from repro.text.tokenize import DEFAULT_STOP_WORDS, token_set
+
+try:  # pragma: no cover - exercised implicitly when numpy is installed
+    import numpy as _np
+except ImportError:  # pragma: no cover
+    _np = None
 
 _MERSENNE_PRIME = (1 << 61) - 1
 _MAX_HASH = (1 << 32) - 1
@@ -35,21 +56,35 @@ def _token_hash(token: str) -> int:
 
 
 class MinHashSignature:
-    """A family of ``num_hashes`` universal hash functions producing MinHash signatures."""
+    """A family of ``num_hashes`` universal hash functions producing MinHash signatures.
+
+    The coefficients come from one ``random.Random(seed)`` stream, drawn
+    interleaved per permutation: ``a_i = randint(1, 2**32 - 1)`` then
+    ``b_i = randint(0, 2**61 - 2)`` (see the module docstring for why the
+    multipliers stay within 32 bits).
+    """
 
     def __init__(self, num_hashes: int = 64, seed: int = 1) -> None:
         if num_hashes < 1:
             raise ValueError("num_hashes must be positive")
-        import random
-
         rng = random.Random(seed)
         self.num_hashes = num_hashes
-        self._coefficients_a = [rng.randint(1, _MERSENNE_PRIME - 1) for _ in range(num_hashes)]
-        self._coefficients_b = [rng.randint(0, _MERSENNE_PRIME - 1) for _ in range(num_hashes)]
+        self.seed = seed
+        coefficients_a: List[int] = []
+        coefficients_b: List[int] = []
+        for _ in range(num_hashes):
+            coefficients_a.append(rng.randint(1, _MAX_HASH))
+            coefficients_b.append(rng.randint(0, _MERSENNE_PRIME - 1))
+        self._coefficients_a = coefficients_a
+        self._coefficients_b = coefficients_b
 
     def signature(self, tokens: Iterable[str]) -> Tuple[int, ...]:
         """MinHash signature of a token set (all-``MAX_HASH`` for the empty set)."""
         hashed = [_token_hash(token) for token in tokens]
+        return self.signature_of_hashes(hashed)
+
+    def signature_of_hashes(self, hashed: Sequence[int]) -> Tuple[int, ...]:
+        """Signature of pre-hashed token values (the inner kernel of :meth:`signature`)."""
         if not hashed:
             return tuple([_MAX_HASH] * self.num_hashes)
         signature = []
@@ -123,3 +158,90 @@ class MinHashLSHBlocking(BlockBuilder):
                 key = f"b{band}:" + "-".join(str(v) for v in band_values)
                 key_index.setdefault(key, {}).setdefault(side, []).append(description.identifier)
         return self._blocks_from_key_index(key_index, data, name=self.name)
+
+
+# ----------------------------------------------------------------------
+# array build (dispatched by repro.blocking.engine.BlockingEngine)
+# ----------------------------------------------------------------------
+def _signature_rows(
+    minhash: MinHashSignature, hashed_columns: List[array], use_numpy: bool
+) -> List[Sequence[int]]:
+    """One signature per (non-empty) hashed column, as ``num_hashes``-long rows.
+
+    The NumPy path evaluates each permutation over the concatenation of all
+    columns and takes segment minima with ``np.minimum.reduceat``; the
+    pure-Python path runs :meth:`MinHashSignature.signature_of_hashes` per
+    column.  Both produce the same integers (see the module docstring).
+    """
+    if use_numpy and _np is not None and hashed_columns:
+        np = _np
+        lengths = [len(column) for column in hashed_columns]
+        starts = np.zeros(len(lengths), dtype=np.int64)
+        np.cumsum(np.asarray(lengths[:-1], dtype=np.int64), out=starts[1:])
+        values = np.concatenate(
+            [np.frombuffer(column, dtype=np.int64) for column in hashed_columns]
+        ).astype(np.uint64)
+        prime = np.uint64(_MERSENNE_PRIME)
+        mask = np.uint64(_MAX_HASH)
+        rows = np.empty((minhash.num_hashes, len(hashed_columns)), dtype=np.uint64)
+        for position, (a, b) in enumerate(
+            zip(minhash._coefficients_a, minhash._coefficients_b)
+        ):
+            # (a*h) % P + b < 2**62, so the split form is exact in uint64
+            permuted = (np.uint64(a) * values) % prime
+            permuted += np.uint64(b)
+            permuted %= prime
+            permuted &= mask
+            np.minimum.reduceat(permuted, starts, out=rows[position])
+        return rows.T.tolist()
+    return [minhash.signature_of_hashes(column) for column in hashed_columns]
+
+
+def _index_build(
+    builder: MinHashLSHBlocking, data: ERInput, context, use_numpy: bool
+) -> BlockCollection:
+    """Array build: one signature matrix, integer band bucketing.
+
+    Block-for-block identical to :meth:`MinHashLSHBlocking.build`: the token
+    sets come from the shared columns (or one ``token_set`` pass), every
+    distinct token is md5-hashed once instead of once per occurrence, the
+    signatures are the same universal-hash minima, and bands bucket by
+    integer tuples with the final emission in the oracle's sorted
+    key-string order.
+    """
+    view = TokenColumnView.build(data, context, builder.stop_words, builder.min_token_length)
+    hash_cache: Dict[int, int] = {}
+    token_of = view.token_of
+    entities: List[int] = []
+    hashed_columns: List[array] = []
+    for ordinal, column in enumerate(view.columns):
+        if not len(column):
+            continue
+        hashed = array("q")
+        for token_id in column:
+            value = hash_cache.get(token_id)
+            if value is None:
+                value = hash_cache[token_id] = _token_hash(token_of(token_id))
+            hashed.append(value)
+        entities.append(ordinal)
+        hashed_columns.append(hashed)
+
+    rows = _signature_rows(builder._minhash, hashed_columns, use_numpy)
+
+    num_bands = builder.num_bands
+    rows_per_band = builder.rows_per_band
+    postings: Dict[Tuple[int, ...], array] = {}
+    for ordinal, signature in zip(entities, rows):
+        for band in range(num_bands):
+            start = band * rows_per_band
+            key = (band, *signature[start : start + rows_per_band])
+            append_posting(postings, key, ordinal)
+
+    collection = BlockCollection(name=builder.name)
+    keyed = sorted(
+        ("b{}:".format(key[0]) + "-".join(str(v) for v in key[1:]), key)
+        for key in postings
+    )
+    for key_string, key in keyed:
+        add_block(collection, key_string, postings[key], view.ids, view.left_count)
+    return collection

@@ -188,3 +188,287 @@ class SimilarityJoinBlocking(BlockBuilder):
                     (first, second, jaccard_similarity(tokens_for(first), tokens_for(second)))
                 )
         return results
+
+
+# ----------------------------------------------------------------------
+# array build (dispatched by repro.blocking.engine.BlockingEngine)
+# ----------------------------------------------------------------------
+def _vectorised_candidates(
+    np,
+    columns,
+    n: int,
+    left_count: int,
+    bilateral: bool,
+    threshold: float,
+    coefficient: float,
+    use_positional: bool,
+    rank_of: Dict[int, int],
+    num_tokens: int,
+    id_rank: Sequence[int],
+    record_order: Sequence[int],
+):
+    """All candidate codes in one vectorised pass, sorted ascending.
+
+    The oracle's positional filter looks order-sensitive (``overlap_bound``
+    grows by one per failed check), but over rank-sorted prefixes both the
+    scanning record's position and the indexed record's position strictly
+    increase between consecutive shared tokens, so the remaining-overlap
+    bound shrinks by at least one per encounter while the failure count
+    grows by exactly one: once the first shared prefix token of a pair
+    fails the filter, every later one must fail too, and if any encounter
+    passes then the first one does.  A pair is therefore a candidate
+    exactly when *any* of its (earlier record, later record, shared prefix
+    token) encounters passes the filters with a zero prior bound -- a
+    fully static test this helper evaluates for every encounter at once.
+    The float expressions are the oracle's, and "earlier" follows the
+    oracle's shortest-first processing order, so the returned candidate
+    set is bit-identical to the sequential loop's.
+    """
+    lens = np.fromiter((len(column) for column in columns), dtype=np.int64, count=n)
+    if n == 0 or int(lens.sum()) == 0:
+        return np.empty(0, dtype=np.int64)
+    flat = np.concatenate([np.asarray(column, dtype=np.int64) for column in columns])
+    # token id -> rank translation through a dense lookup column
+    rank_lookup = np.zeros(num_tokens, dtype=np.int64)
+    count = len(rank_of)
+    rank_lookup[np.fromiter(rank_of.keys(), dtype=np.int64, count=count)] = np.fromiter(
+        rank_of.values(), dtype=np.int64, count=count
+    )
+    record_ids = np.repeat(np.arange(n, dtype=np.int64), lens)
+    # stable sort by (record, rank): record segments stay contiguous and
+    # in place, each holding its ranks ascending -- the ranked token lists
+    order = np.lexsort((rank_lookup[flat], record_ids))
+    ranks = rank_lookup[flat][order]
+    offsets = np.zeros(n, dtype=np.int64)
+    np.cumsum(lens[:-1], out=offsets[1:])
+    positions = np.arange(len(flat), dtype=np.int64) - np.repeat(offsets, lens)
+    # keep only prefix positions; size-0 records contribute no elements
+    prefix_lens = lens - np.ceil(lens * threshold).astype(np.int64) + 1
+    in_prefix = positions < prefix_lens[record_ids]
+    prefix_ranks = ranks[in_prefix]
+    prefix_records = record_ids[in_prefix]
+    prefix_positions = positions[in_prefix]
+    # group prefix entries by token, ordered by processing order inside
+    # each group: an encounter pairs an entry with every earlier entry
+    processing = np.empty(n, dtype=np.int64)
+    processing[np.asarray(record_order, dtype=np.int64)] = np.arange(n, dtype=np.int64)
+    group_order = np.lexsort((processing[prefix_records], prefix_ranks))
+    entry_ranks = prefix_ranks[group_order]
+    entry_records = prefix_records[group_order]
+    entry_positions = prefix_positions[group_order]
+    total = len(entry_ranks)
+    if total == 0:
+        return np.empty(0, dtype=np.int64)
+    is_start = np.empty(total, dtype=bool)
+    is_start[0] = True
+    np.not_equal(entry_ranks[1:], entry_ranks[:-1], out=is_start[1:])
+    group_start = np.maximum.accumulate(
+        np.where(is_start, np.arange(total, dtype=np.int64), 0)
+    )
+    within = np.arange(total, dtype=np.int64) - group_start
+    encounters = int(within.sum())
+    if encounters == 0:
+        return np.empty(0, dtype=np.int64)
+    later = np.repeat(np.arange(total, dtype=np.int64), within)
+    spans = np.zeros(total, dtype=np.int64)
+    np.cumsum(within[:-1], out=spans[1:])
+    earlier = np.repeat(group_start, within) + (
+        np.arange(encounters, dtype=np.int64) - np.repeat(spans, within)
+    )
+    earlier_record = entry_records[earlier]
+    later_record = entry_records[later]
+    earlier_size = lens[earlier_record]
+    later_size = lens[later_record]
+    # length filter: the oracle's ``other_size < threshold * size`` with
+    # the earlier record as "other" (processing is shortest-first)
+    keep = earlier_size >= threshold * later_size
+    if bilateral:
+        keep &= (earlier_record < left_count) != (later_record < left_count)
+    if use_positional:
+        remaining = np.minimum(
+            later_size - entry_positions[later], earlier_size - entry_positions[earlier]
+        )
+        keep &= remaining >= coefficient * (later_size + earlier_size)
+    first_rank = np.asarray(id_rank, dtype=np.int64)[later_record[keep]]
+    second_rank = np.asarray(id_rank, dtype=np.int64)[earlier_record[keep]]
+    codes = np.minimum(first_rank, second_rank) * n + np.maximum(first_rank, second_rank)
+    return np.unique(codes)
+
+
+def _index_build(
+    builder: SimilarityJoinBlocking, data: ERInput, context, use_numpy: bool
+) -> BlockCollection:
+    """Array build: prefix filtering over sorted-id columns, columnar verification.
+
+    Candidate generation runs entirely in *rank space*: the global
+    rarest-first token order ranks ids once by ``(document frequency,
+    token string)``, every column is translated to its ascending rank
+    list, records are processed shortest-first with identifier
+    tie-breaks, and the length/positional filters evaluate the identical
+    float expressions -- so the candidate *set* is the oracle's exactly.
+    With NumPy the whole prefix-index scan collapses into one vectorised
+    encounter enumeration (see :func:`_vectorised_candidates` for why the
+    positional filter admits this); without it a rank-space port of the
+    oracle's sequential loop runs instead.  Candidate pairs are
+    packed into single integers whose ascending order equals the oracle's
+    sorted canonical string pairs.  Verification then runs through the
+    matching engine's columnar set scorer
+    (:meth:`repro.matching.engine.MatchingEngine.score_id_set_pairs`) with
+    a Jaccard :class:`~repro.matching.matchers.ProfileSimilarityMatcher`
+    at the join threshold, whose batched intersection counts are
+    bit-identical to the oracle's per-pair ``jaccard_similarity``.
+    """
+    from repro.blocking.columns import TokenColumnView
+    from repro.matching.engine import MatchingEngine
+    from repro.matching.matchers import ProfileSimilarityMatcher
+
+    view = TokenColumnView.build(data, context, builder.stop_words, builder.min_token_length)
+    columns = view.columns
+    ids = view.ids
+    n = len(columns)
+    threshold = builder.threshold
+    left_count = view.left_count
+    bilateral = left_count >= 0
+
+    document_frequency: Dict[int, int] = {}
+    frequency_get = document_frequency.get
+    for column in columns:
+        for token_id in column:
+            document_frequency[token_id] = frequency_get(token_id, 0) + 1
+    token_of = view.token_of
+    rank_of: Dict[int, int] = {
+        token_id: rank
+        for rank, token_id in enumerate(
+            sorted(document_frequency, key=lambda t: (document_frequency[t], token_of(t)))
+        )
+    }
+
+    # identifier ranks: candidate pairs order by them exactly as canonical
+    # string pairs sort, and ascending rank is the oracle's emission order
+    by_rank = sorted(range(n), key=ids.__getitem__)
+    id_rank = [0] * n
+    for rank, ordinal in enumerate(by_rank):
+        id_rank[ordinal] = rank
+
+    record_order = sorted(range(n), key=lambda o: (len(columns[o]), ids[o]))
+
+    use_positional = builder.use_positional_filter
+    coefficient = threshold / (1.0 + threshold)
+    try:
+        import numpy as _np
+    except ImportError:  # pragma: no cover - exercised by the no-NumPy CI job
+        _np = None
+
+    if _np is not None and use_numpy is not False:
+        ordered_codes = _vectorised_candidates(
+            _np,
+            columns,
+            n,
+            left_count,
+            bilateral,
+            threshold,
+            coefficient,
+            use_positional,
+            rank_of,
+            view.num_tokens,
+            id_rank,
+            record_order,
+        )
+        builder.last_candidate_count = int(ordered_codes.size)
+        if ordered_codes.size:
+            rank_to_ordinal = _np.fromiter(by_rank, dtype=_np.int64, count=n)
+            ordinal_pairs = list(
+                zip(
+                    rank_to_ordinal[ordered_codes // n].tolist(),
+                    rank_to_ordinal[ordered_codes % n].tolist(),
+                )
+            )
+        else:
+            ordinal_pairs = []
+    else:
+        # every record's tokens, translated to ranks and integer-sorted: the
+        # ascending rank order is exactly the oracle's (document frequency,
+        # token string) order, without a key function in the inner sort
+        rank_getter = rank_of.__getitem__
+        ranked: List[List[int]] = [sorted(map(rank_getter, column)) for column in columns]
+        index: Dict[int, List[Tuple[int, int, int]]] = {}
+        index_get = index.get
+        candidate_codes: Set[int] = set()
+        add_candidate = candidate_codes.add
+        for ordinal in record_order:
+            tokens = ranked[ordinal]
+            size = len(tokens)
+            if size == 0:
+                continue
+            prefix_len = _prefix_length(size, threshold)
+            if prefix_len > size:
+                prefix_len = size
+            overlap_bound: Dict[int, float] = {}
+            bound_get = overlap_bound.get
+            rank = id_rank[ordinal]
+            on_left = ordinal < left_count
+            min_other_size = threshold * size
+            for position in range(prefix_len):
+                token = tokens[position]
+                postings = index_get(token)
+                if postings is None:
+                    index[token] = [(ordinal, position, size)]
+                    continue
+                remaining_here = size - position
+                for other, other_position, other_size in postings:
+                    if bilateral and (other < left_count) == on_left:
+                        continue
+                    if other_size < min_other_size:
+                        continue
+                    if use_positional:
+                        other_remaining = other_size - other_position
+                        remaining = (
+                            remaining_here
+                            if remaining_here < other_remaining
+                            else other_remaining
+                        )
+                        prior = bound_get(other, 0.0)
+                        if prior + remaining < coefficient * (size + other_size):
+                            overlap_bound[other] = prior + 1.0
+                            continue
+                    other_rank = id_rank[other]
+                    add_candidate(
+                        rank * n + other_rank
+                        if rank < other_rank
+                        else other_rank * n + rank
+                    )
+                postings.append((ordinal, position, size))
+
+        builder.last_candidate_count = len(candidate_codes)
+        # ascending packed codes sort exactly like the oracle's sorted
+        # canonical (first identifier, second identifier) pairs
+        ordinal_pairs = [
+            (by_rank[code // n], by_rank[code % n]) for code in sorted(candidate_codes)
+        ]
+    matcher = ProfileSimilarityMatcher(
+        threshold=threshold,
+        stop_words=builder.stop_words,
+        min_token_length=builder.min_token_length,
+        similarity_name="jaccard",
+    )
+    engine = MatchingEngine(matcher, context=context, use_numpy=use_numpy)
+    scores = engine.score_id_set_pairs(ordinal_pairs, columns, view.num_tokens)
+
+    collection = BlockCollection(name=builder.name)
+    verified = 0
+    for (first_ordinal, second_ordinal), score in zip(ordinal_pairs, scores):
+        if score < threshold:
+            continue
+        verified += 1
+        first = ids[first_ordinal]
+        second = ids[second_ordinal]
+        key = f"join:{first}|{second}"
+        if bilateral:
+            left, right = (
+                (first, second) if first_ordinal < left_count else (second, first)
+            )
+            collection.add(Block(key, left_members=[left], right_members=[right]))
+        else:
+            collection.add(Block(key, members=[first, second]))
+    builder.last_verified_count = verified
+    return collection

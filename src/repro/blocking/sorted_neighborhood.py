@@ -5,6 +5,14 @@ slides over the sorted list; every pair of descriptions that co-occur in a
 window becomes a candidate comparison.  The sorted order is also the basis of
 the progressive sorted-list heuristics of Section IV, which re-use
 :func:`sorted_order` from this module.
+
+Tie rules (pinned by the array engine and its bit-identity suite): the sort
+orders by ``(key, identifier)``, so equal keys fall back to identifier
+order; window blocks keep the members in sorted-entry order, and bilateral
+blocks split a window into its left and right members preserving that
+order.  The multi-pass variant (:class:`MultiPassSortedNeighborhoodBlocking`)
+runs one independent pass per sorting key, prefixing the window keys with
+the pass index.
 """
 
 from __future__ import annotations
@@ -155,3 +163,210 @@ class ExtendedSortedNeighborhoodBlocking(BlockBuilder):
             else:
                 collection.add(Block(f"keywindow:{start}", members=members))
         return collection
+
+
+class MultiPassSortedNeighborhoodBlocking(BlockBuilder):
+    """Multi-pass sorted neighbourhood: one sliding-window pass per sorting key.
+
+    The classical remedy for a single noisy key: each pass sorts the pooled
+    descriptions by one key and emits its windows independently, with block
+    keys ``pass<p>:window:<start>``.  A ``None`` entry in ``sorting_keys``
+    stands for the default schema-agnostic key.
+    """
+
+    name = "multipass_sorted_neighborhood"
+
+    def __init__(
+        self,
+        window_size: int = 4,
+        sorting_keys: Sequence[Optional[Callable[[EntityDescription], str]]] = (None,),
+    ) -> None:
+        if window_size < 2:
+            raise ValueError("window size must be at least 2")
+        keys = tuple(sorting_keys)
+        if not keys:
+            raise ValueError("at least one sorting key is required")
+        self.window_size = window_size
+        self.sorting_keys = keys
+
+    def build(self, data: ERInput) -> BlockCollection:
+        collection = BlockCollection(name=self.name)
+        bilateral = isinstance(data, CleanCleanTask)
+        for pass_index, key_of in enumerate(self.sorting_keys):
+            entries = sorted_order(data, key_of)
+            identifiers = [identifier for _, identifier in entries]
+            if len(identifiers) < 2:
+                continue
+            for start in range(0, max(1, len(identifiers) - self.window_size + 1)):
+                window = identifiers[start : start + self.window_size]
+                if len(window) < 2:
+                    continue
+                key = f"pass{pass_index}:window:{start}"
+                if bilateral:
+                    left = [i for i in window if i in data.left]
+                    right = [i for i in window if i in data.right]
+                    if left and right:
+                        collection.add(Block(key, left_members=left, right_members=right))
+                else:
+                    collection.add(Block(key, members=window))
+        return collection
+
+
+# ----------------------------------------------------------------------
+# array build (dispatched by repro.blocking.engine.BlockingEngine)
+# ----------------------------------------------------------------------
+def _entry_rows(
+    data: ERInput,
+    context,
+    sorting_key: Optional[Callable[[EntityDescription], str]],
+) -> List[Tuple[str, str, int]]:
+    """``(key, identifier, ordinal)`` rows sorted exactly like :func:`sorted_order`.
+
+    With a shared context and the default key, the key string is rebuilt
+    from the context's ordered token-id streams (space-joined token strings
+    equal ``normalize(description.text())`` by construction), so no raw
+    value is re-normalised.  Ties sort by identifier; the ordinal is never
+    compared because identifiers are unique.
+    """
+    rows: List[Tuple[str, str, int]] = []
+    if context is not None and sorting_key is None:
+        # bind the vocabulary list once: the per-token lookup then runs at
+        # C speed inside map() instead of calling context.token() per token
+        tokens = context._tokens
+        lookup = tokens.__getitem__
+        ids = context.ids
+        token_stream = context.token_stream
+        for ordinal in range(context.num_descriptions):
+            rows.append(
+                (" ".join(map(lookup, token_stream(ordinal))), ids[ordinal], ordinal)
+            )
+    else:
+        key_of = sorting_key or default_sorting_key
+        for ordinal, (_side, description) in enumerate(BlockBuilder._iter_with_side(data)):
+            rows.append((key_of(description), description.identifier, ordinal))
+    rows.sort()
+    return rows
+
+
+def _emit_position_windows(
+    collection: BlockCollection,
+    prefix: str,
+    rows: List[Tuple[str, str, int]],
+    window_size: int,
+    left_count: int,
+) -> None:
+    """Slide the fixed window over sorted rows, emitting trusted blocks."""
+    n = len(rows)
+    if n < 2:
+        return
+    out: List[Block] = []
+    append = out.append
+    new_block = Block.__new__
+    empty = ()
+    # one identifier (and, bilaterally, ordinal) list up front: windows are
+    # then C-speed slices instead of per-window tuple comprehensions
+    identifiers = [identifier for _key, identifier, _ordinal in rows]
+    if left_count >= 0:
+        ordinals = [ordinal for _key, _identifier, ordinal in rows]
+        for start in range(0, max(1, n - window_size + 1)):
+            stop = start + window_size
+            window_ids = identifiers[start:stop]
+            if len(window_ids) < 2:
+                continue
+            window_ordinals = ordinals[start:stop]
+            left = tuple(
+                identifier
+                for identifier, ordinal in zip(window_ids, window_ordinals)
+                if ordinal < left_count
+            )
+            if not left or len(left) == len(window_ids):
+                continue
+            right = tuple(
+                identifier
+                for identifier, ordinal in zip(window_ids, window_ordinals)
+                if ordinal >= left_count
+            )
+            block = new_block(Block)
+            block.key = f"{prefix}{start}"
+            block._members = empty
+            block._left = left
+            block._right = right
+            append(block)
+    else:
+        for start in range(0, max(1, n - window_size + 1)):
+            members = tuple(identifiers[start : start + window_size])
+            if len(members) < 2:
+                continue
+            block = new_block(Block)
+            block.key = f"{prefix}{start}"
+            block._members = members
+            block._left = empty
+            block._right = empty
+            append(block)
+    collection._extend_trusted(out)
+
+
+def _emit_key_windows(
+    collection: BlockCollection,
+    rows: List[Tuple[str, str, int]],
+    window_size: int,
+    left_count: int,
+) -> None:
+    """Slide the window over distinct key values (the extended variant)."""
+    grouped: List[List[Tuple[str, str, int]]] = []
+    previous_key: Optional[str] = None
+    for row in rows:
+        if row[0] != previous_key:
+            grouped.append([])
+            previous_key = row[0]
+        grouped[-1].append(row)
+    out: List[Block] = []
+    new_block = Block.__new__
+    empty = ()
+    for start in range(0, max(1, len(grouped) - window_size + 1)):
+        members = [row for group in grouped[start : start + window_size] for row in group]
+        if len(members) < 2:
+            continue
+        block = new_block(Block)
+        block.key = f"keywindow:{start}"
+        if left_count >= 0:
+            left = tuple(i for _k, i, o in members if o < left_count)
+            right = tuple(i for _k, i, o in members if o >= left_count)
+            if not left or not right:
+                continue
+            block._members = empty
+            block._left = left
+            block._right = right
+        else:
+            block._members = tuple(i for _k, i, _o in members)
+            block._left = empty
+            block._right = empty
+        out.append(block)
+    collection._extend_trusted(out)
+
+
+def _index_build(builder, data: ERInput, context, use_numpy: bool) -> BlockCollection:
+    """Array build for the three sorted-neighbourhood variants.
+
+    One sorted pass per sorting key; windows are emitted through trusted
+    block construction (members are already distinct).  Output is
+    block-for-block identical to the oracle builders, including tie order.
+    """
+    if isinstance(data, CleanCleanTask):
+        left_count = len(data.left)
+    else:
+        left_count = -1
+    collection = BlockCollection(name=builder.name)
+    if type(builder) is MultiPassSortedNeighborhoodBlocking:
+        for pass_index, key_of in enumerate(builder.sorting_keys):
+            rows = _entry_rows(data, context, key_of)
+            _emit_position_windows(
+                collection, f"pass{pass_index}:window:", rows, builder.window_size, left_count
+            )
+    elif type(builder) is ExtendedSortedNeighborhoodBlocking:
+        rows = _entry_rows(data, context, builder.sorting_key)
+        _emit_key_windows(collection, rows, builder.window_size, left_count)
+    else:
+        rows = _entry_rows(data, context, builder.sorting_key)
+        _emit_position_windows(collection, "window:", rows, builder.window_size, left_count)
+    return collection

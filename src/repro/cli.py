@@ -79,13 +79,19 @@ def _write_clusters(clusters, output: Optional[str]) -> None:
 
 
 def _add_workflow_arguments(parser: argparse.ArgumentParser) -> None:
-    parser.add_argument("--blocking", default="token", help="blocking scheme (default: token)")
+    parser.add_argument(
+        "--blocking",
+        default="token",
+        help="blocking scheme (default: token; also: attribute_clustering, "
+        "prefix_infix_suffix, qgrams, standard, sorted_neighborhood, "
+        "extended_sorted_neighborhood, similarity_join, minhash_lsh, canopy)",
+    )
     parser.add_argument(
         "--blocking-engine",
         default="index",
         choices=["index", "oracle"],
-        help="blocking + cleaning execution: array-backed interned-token engine (index) "
-        "or the legacy per-dict builders and cleaners (oracle)",
+        help="blocking + cleaning execution: array-backed interned-token engine (index, "
+        "covers every builtin scheme) or the legacy per-dict builders and cleaners (oracle)",
     )
     parser.add_argument("--no-metablocking", action="store_true", help="disable meta-blocking")
     parser.add_argument("--weighting", default="CBS", help="meta-blocking weighting scheme")

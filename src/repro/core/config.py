@@ -20,14 +20,17 @@ class WorkflowConfig:
     blocking:
         Name of the blocking scheme: ``"token"``, ``"attribute_clustering"``,
         ``"prefix_infix_suffix"``, ``"standard"``, ``"sorted_neighborhood"``,
-        ``"qgrams"``, ``"similarity_join"``.
+        ``"extended_sorted_neighborhood"``, ``"qgrams"``,
+        ``"similarity_join"``, ``"minhash_lsh"``, ``"canopy"``.
     blocking_engine:
         Execution engine of the blocking and block-cleaning stages:
         ``"index"`` (default, array-backed interned-token builders and
         streaming CSR cleaning passes) or ``"oracle"`` (the legacy
         per-``dict``/``set`` builders and cleaners).  Both produce
-        block-for-block identical collections; schemes without an index
-        implementation fall back to the oracle automatically.  See
+        block-for-block identical collections; every builtin scheme has an
+        index implementation, and custom :class:`~repro.blocking.base.BlockBuilder`
+        subclasses fall back to the oracle automatically (with a one-time
+        :class:`RuntimeWarning` naming the scheme).  See
         :mod:`repro.blocking`.
     enable_purging / enable_filtering:
         Whether block purging / block filtering run after blocking.

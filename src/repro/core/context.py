@@ -18,7 +18,9 @@ was tokenised three to four times per run.
   uses);
 * for every description, the context stores one **column per attribute**:
   the sorted distinct token ids of that attribute's values plus the aligned
-  occurrence counts.
+  occurrence counts -- and one **ordered token-id stream** over all values
+  (duplicates kept, in value order), from which order-sensitive consumers
+  such as sorted-neighbourhood keys are derived.
 
 All downstream token views are derived from these columns without touching
 the raw strings again:
@@ -149,6 +151,8 @@ class PipelineContext:
         self._attr_counts: List[Tuple[array, ...]] = []
         # per description: merged all-attribute (sorted ids, counts), built lazily
         self._merged: List[Optional[Tuple[array, array]]] = []
+        # per description: every token id in value order (duplicates kept)
+        self._streams: List[array] = []
         self._filters: Dict[Tuple[FrozenSet[str], int], TokenFilter] = {}
         self._fitted: Dict[int, TfIdfVectorizer] = {}
 
@@ -178,6 +182,7 @@ class PipelineContext:
             names: List[str] = []
             id_columns: List[array] = []
             count_columns: List[array] = []
+            stream = array("q")
             for attribute in description.attribute_names:
                 counts: Dict[int, int] = {}
                 for value in description.values(attribute):
@@ -188,6 +193,7 @@ class PipelineContext:
                             token_ids[token] = token_id
                             tokens.append(token)
                         counts[token_id] = counts.get(token_id, 0) + 1
+                        stream.append(token_id)
                 names.append(attribute)
                 items = sorted(counts.items())
                 id_columns.append(array("q", (t for t, _ in items)))
@@ -196,6 +202,7 @@ class PipelineContext:
             self._attr_ids.append(tuple(id_columns))
             self._attr_counts.append(tuple(count_columns))
             self._merged.append(None)
+            self._streams.append(stream)
 
     @property
     def num_descriptions(self) -> int:
@@ -271,6 +278,21 @@ class PipelineContext:
             self._attr_ids[ordinal],
             self._attr_counts[ordinal],
         )
+
+    def token_stream(self, ordinal: int) -> array:
+        """Every token id of the description, in value order, duplicates kept.
+
+        The stream records the tokens in exactly the order ``tokenize``
+        yields them over ``description.values()`` (attributes in insertion
+        order, values in insertion order).  Because ``normalize`` splits on
+        the same word pattern that separates values in
+        ``EntityDescription.text``, joining the stream's token strings with
+        a single space reproduces ``normalize(description.text())`` --
+        the default sorted-neighbourhood key -- without touching the raw
+        strings again.
+        """
+        self._intern_all()
+        return self._streams[ordinal]
 
     def token_counts(self, ordinal: int) -> Tuple[array, array]:
         """All-attribute ``(sorted distinct ids, aligned occurrence counts)``.

@@ -23,9 +23,14 @@ import time
 from typing import List, Optional, Sequence, Set, Tuple, Union
 
 from repro.blocking.base import BlockBuilder, BlockCollection, ERInput
+from repro.blocking.canopy import CanopyClusteringBlocking
 from repro.blocking.cleaning import BlockFiltering, BlockPurging
 from repro.blocking.engine import BlockingEngine
-from repro.blocking.sorted_neighborhood import SortedNeighborhoodBlocking
+from repro.blocking.minhash import MinHashLSHBlocking
+from repro.blocking.sorted_neighborhood import (
+    ExtendedSortedNeighborhoodBlocking,
+    SortedNeighborhoodBlocking,
+)
 from repro.blocking.standard import QGramsBlocking, StandardBlocking, attribute_key
 from repro.blocking.similarity_join import SimilarityJoinBlocking
 from repro.blocking.token_blocking import (
@@ -76,7 +81,10 @@ _BLOCKING_FACTORIES = {
     "prefix_infix_suffix": lambda: PrefixInfixSuffixBlocking(),
     "qgrams": lambda: QGramsBlocking(),
     "sorted_neighborhood": lambda: SortedNeighborhoodBlocking(),
+    "extended_sorted_neighborhood": lambda: ExtendedSortedNeighborhoodBlocking(),
     "similarity_join": lambda: SimilarityJoinBlocking(threshold=0.4),
+    "minhash_lsh": lambda: MinHashLSHBlocking(),
+    "canopy": lambda: CanopyClusteringBlocking(),
     "standard": lambda: StandardBlocking([attribute_key(["name"], length=6)]),
 }
 

@@ -14,6 +14,22 @@ its two families:
 Iterative blocking (:mod:`repro.iterative.iterative_blocking`) interleaves the
 iterative process with blocking: merges found in one block are propagated to
 all other blocks, saving redundant comparisons and finding extra matches.
+
+Execution engines and tie rules
+-------------------------------
+
+The four resolvers (:class:`RSwoosh`, :class:`NaivePairwiseER`,
+:class:`CollectiveER`, :class:`AttributeOnlyER`) take an
+``engine="array"|"object"`` switch: the array default batches similarity
+scoring through :class:`~repro.matching.engine.MatchingEngine` and keeps
+cluster state in an integer union--find, while the object path is the
+readable per-pair oracle; custom matcher types fall back to the object path
+automatically (``last_engine`` reports what ran).  Both engines pin the same
+tie rules: candidate pairs initialise and re-queue in sorted canonical-pair
+order, R-Swoosh merges the *first* matching partner in resolved order, the
+naive baseline merges the lexicographically first matching index pair, a
+collective merge keeps the first description's cluster label, and final
+clusters emit in ascending surviving-cluster order.
 """
 
 from repro.iterative.collective import AttributeOnlyER, CollectiveER, CollectiveResult
@@ -24,10 +40,11 @@ from repro.iterative.iterative_blocking import (
     IterativeBlockingResult,
 )
 from repro.iterative.queue import ComparisonQueue, IterativeResult, QueueBasedResolver
-from repro.iterative.swoosh import NaivePairwiseER, RSwoosh, SwooshResult
+from repro.iterative.swoosh import ITERATIVE_ENGINES, NaivePairwiseER, RSwoosh, SwooshResult
 
 __all__ = [
     "ArrivalResult",
+    "ITERATIVE_ENGINES",
     "AttributeOnlyER",
     "CollectiveER",
     "CollectiveResult",

@@ -18,6 +18,17 @@ triggers new or re-prioritised comparisons of related pairs.
 3. *Update*: after a merge, every queued pair whose descriptions are related
    to the merged ones is re-prioritised (its relational evidence has changed),
    which is what makes the process iterative rather than one-shot.
+
+Like the merging-based resolvers, both classes here carry an
+``engine="array"|"object"`` switch: the array path (default, requires the
+exact :class:`~repro.matching.matchers.ProfileSimilarityMatcher` type,
+otherwise it falls back automatically) scores the initialisation phase in
+one batched call and keeps the cluster state in an
+:class:`~repro.core.unionfind.IntUnionFind` over description ordinals
+instead of dictionaries of identifier sets.  Queue order, comparison
+counts, matches, rescue/requeue statistics and the final cluster list
+(ordered by ascending surviving cluster index, the oracle's dict order)
+are bit-identical to the object path.
 """
 
 from __future__ import annotations
@@ -26,13 +37,28 @@ from dataclasses import dataclass, field
 from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.blocking.base import BlockCollection
-from repro.core.unionfind import UnionFind
+from repro.core.unionfind import IntUnionFind, UnionFind
 from repro.datamodel.collection import EntityCollection
 from repro.datamodel.description import EntityDescription
 from repro.datamodel.pairs import Comparison, canonical_pair
 from repro.iterative.queue import ComparisonQueue
+from repro.iterative.swoosh import ITERATIVE_ENGINES
 from repro.matching.matchers import Matcher, ProfileSimilarityMatcher
 from repro.text.similarity import jaccard_similarity
+
+
+def _candidate_pairs(
+    collection: EntityCollection,
+    candidates: Union[BlockCollection, Iterable[Comparison], None],
+) -> Set[Tuple[str, str]]:
+    """Initial candidate pairs: a block collection, comparisons, or token blocking."""
+    if candidates is None:
+        from repro.blocking.token_blocking import TokenBlocking
+
+        candidates = TokenBlocking().build(collection)
+    if isinstance(candidates, BlockCollection):
+        return candidates.distinct_pairs()
+    return {comparison.pair for comparison in candidates}
 
 
 @dataclass
@@ -89,6 +115,12 @@ class CollectiveER:
           disambiguate same-name entities at the price of recall).
     budget:
         Optional maximum number of similarity evaluations.
+    engine:
+        ``"array"`` (default, batched scoring + integer union--find cluster
+        state for the exact :class:`ProfileSimilarityMatcher` type) or
+        ``"object"`` (the dictionary-based oracle); custom matchers fall
+        back to the object path automatically, reported via
+        :attr:`last_engine`.
     """
 
     name = "collective_er"
@@ -101,17 +133,23 @@ class CollectiveER:
         candidate_threshold: float = 0.2,
         combination: str = "boost",
         budget: Optional[int] = None,
+        engine: str = "array",
     ) -> None:
         if not 0.0 <= relationship_weight <= 1.0:
             raise ValueError("relationship weight must be in [0, 1]")
         if combination not in ("boost", "weighted"):
             raise ValueError("combination must be 'boost' or 'weighted'")
+        if engine not in ITERATIVE_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; available: {ITERATIVE_ENGINES}")
         self.attribute_matcher = attribute_matcher or ProfileSimilarityMatcher(threshold=1.0)
         self.match_threshold = match_threshold
         self.relationship_weight = relationship_weight
         self.candidate_threshold = candidate_threshold
         self.combination = combination
         self.budget = budget
+        self.engine = engine
+        #: engine that actually executed the last resolve call
+        self.last_engine: Optional[str] = None
 
     # ------------------------------------------------------------------
     # relational structure
@@ -189,6 +227,166 @@ class CollectiveER:
         return weighted
 
     # ------------------------------------------------------------------
+    # array engine: ordinal cluster state + batched initialisation
+    # ------------------------------------------------------------------
+    def _combined_score_ordinals(
+        self,
+        attribute_score: float,
+        first: int,
+        second: int,
+        neighbour_sets: List[Set[int]],
+        links: IntUnionFind,
+        cluster_size: List[int],
+    ) -> float:
+        """Ordinal twin of :meth:`_combined_score`.
+
+        Cluster labels are union--find roots; they coincide with the
+        oracle's dictionary labels by induction (the winning side of every
+        merge is the first description's root in both), and the Jaccard of
+        the neighbour-cluster sets only depends on label *identity*, so the
+        scores are bit-identical.
+        """
+        find = links.find
+        has_evidence = False
+        for ordinal in (first, second):
+            for neighbour in neighbour_sets[ordinal]:
+                if cluster_size[find(neighbour)] > 1:
+                    has_evidence = True
+                    break
+            if has_evidence:
+                break
+        if not has_evidence:
+            return attribute_score
+        clusters_a = {find(neighbour) for neighbour in neighbour_sets[first]}
+        clusters_b = {find(neighbour) for neighbour in neighbour_sets[second]}
+        relational_score = (
+            jaccard_similarity(clusters_a, clusters_b) if clusters_a and clusters_b else 0.0
+        )
+        weighted = (
+            (1.0 - self.relationship_weight) * attribute_score
+            + self.relationship_weight * relational_score
+        )
+        if self.combination == "boost":
+            return max(attribute_score, weighted)
+        return weighted
+
+    def _resolve_array(
+        self,
+        collection: EntityCollection,
+        candidates: Union[BlockCollection, Iterable[Comparison], None],
+    ) -> CollectiveResult:
+        from repro.matching.engine import MatchingEngine
+
+        result = CollectiveResult()
+        identifiers = [description.identifier for description in collection]
+        n = len(identifiers)
+        ordinal_of = {identifier: ordinal for ordinal, identifier in enumerate(identifiers)}
+
+        neighbour_sets: List[Set[int]] = [set() for _ in range(n)]
+        for ordinal, description in enumerate(collection):
+            for target in description.related():
+                target_ordinal = ordinal_of.get(target)
+                if target_ordinal is not None:
+                    neighbour_sets[ordinal].add(target_ordinal)
+                    neighbour_sets[target_ordinal].add(ordinal)
+
+        # ----- initialisation phase: one batched scoring call -----------
+        scoring = MatchingEngine(self.attribute_matcher)
+        resolvable: List[Tuple[str, str]] = []
+        batch: List[Tuple[EntityDescription, EntityDescription]] = []
+        for first, second in sorted(_candidate_pairs(collection, candidates)):
+            description_a = collection.get(first)
+            description_b = collection.get(second)
+            if description_a is None or description_b is None:
+                continue
+            resolvable.append((first, second))
+            batch.append((description_a, description_b))
+        scores = scoring.similarity_scores(batch) if batch else []
+        result.comparisons_executed += len(scores)
+
+        attribute_similarity: Dict[Tuple[str, str], float] = {}
+        pairs_of_ordinal: List[List[Tuple[str, str]]] = [[] for _ in range(n)]
+        queue = ComparisonQueue()
+        for pair, score in zip(resolvable, scores):
+            if score >= self.candidate_threshold:
+                attribute_similarity[pair] = score
+                pairs_of_ordinal[ordinal_of[pair[0]]].append(pair)
+                pairs_of_ordinal[ordinal_of[pair[1]]].append(pair)
+                queue.push(pair[0], pair[1], priority=score)
+
+        # ----- iterative phase ------------------------------------------
+        links = IntUnionFind(n)
+        cluster_size = [1] * n
+        members_of: Dict[int, List[int]] = {ordinal: [ordinal] for ordinal in range(n)}
+        processed: Set[Tuple[str, str]] = set()
+        while len(queue) > 0:
+            if self.budget is not None and result.comparisons_executed >= self.budget:
+                break
+            pair = queue.pop()
+            if pair is None:
+                break
+            if pair in processed:
+                continue
+            first_ordinal = ordinal_of[pair[0]]
+            second_ordinal = ordinal_of[pair[1]]
+            target = links.find(first_ordinal)
+            source = links.find(second_ordinal)
+            if target == source:
+                processed.add(pair)
+                continue
+
+            attribute_score = attribute_similarity.get(pair, 0.0)
+            combined = self._combined_score_ordinals(
+                attribute_score, first_ordinal, second_ordinal, neighbour_sets, links, cluster_size
+            )
+            result.comparisons_executed += 1
+            processed.add(pair)
+
+            if combined < self.match_threshold:
+                continue
+
+            result.matches.append(pair)
+            if attribute_score < self.match_threshold <= combined:
+                result.relational_rescues += 1
+            # the first description's root wins, like the oracle's ``target``
+            links.union(first_ordinal, second_ordinal)
+            cluster_size[target] += cluster_size[source]
+            members_of[target].extend(members_of.pop(source))
+
+            affected = {
+                neighbour
+                for member in members_of[target]
+                for neighbour in neighbour_sets[member]
+            }
+            affected_pairs = {
+                queued_pair
+                for ordinal in affected
+                for queued_pair in pairs_of_ordinal[ordinal]
+            }
+            for queued_pair in sorted(affected_pairs):
+                if links.connected(ordinal_of[queued_pair[0]], ordinal_of[queued_pair[1]]):
+                    continue
+                new_priority = self._combined_score_ordinals(
+                    attribute_similarity[queued_pair],
+                    ordinal_of[queued_pair[0]],
+                    ordinal_of[queued_pair[1]],
+                    neighbour_sets,
+                    links,
+                    cluster_size,
+                )
+                queue.push(queued_pair[0], queued_pair[1], priority=new_priority)
+                processed.discard(queued_pair)
+                result.requeue_events += 1
+
+        # ascending surviving root order == the oracle's dict iteration order
+        result.clusters = [
+            frozenset(identifiers[member] for member in members_of[root])
+            for root in sorted(members_of)
+            if len(members_of[root]) > 1
+        ]
+        return result
+
+    # ------------------------------------------------------------------
     def resolve(
         self,
         collection: EntityCollection,
@@ -200,6 +398,17 @@ class CollectiveER:
         iterable of comparisons); when ``None`` all pairs of descriptions that
         share at least one token are used (token-blocking candidates).
         """
+        if self.engine == "array" and type(self.attribute_matcher) is ProfileSimilarityMatcher:
+            self.last_engine = "array"
+            return self._resolve_array(collection, candidates)
+        self.last_engine = "object"
+        return self._resolve_object(collection, candidates)
+
+    def _resolve_object(
+        self,
+        collection: EntityCollection,
+        candidates: Union[BlockCollection, Iterable[Comparison], None] = None,
+    ) -> CollectiveResult:
         result = CollectiveResult()
         neighbours = self._neighbour_index(collection)
 
@@ -212,14 +421,7 @@ class CollectiveER:
         }
 
         # ----- initialisation phase: fill the queue --------------------
-        if candidates is None:
-            from repro.blocking.token_blocking import TokenBlocking
-
-            candidates = TokenBlocking().build(collection)
-        if isinstance(candidates, BlockCollection):
-            candidate_pairs = candidates.distinct_pairs()
-        else:
-            candidate_pairs = {comparison.pair for comparison in candidates}
+        candidate_pairs = _candidate_pairs(collection, candidates)
 
         attribute_similarity: Dict[Tuple[str, str], float] = {}
         pairs_of_identifier: Dict[str, List[Tuple[str, str]]] = {}
@@ -319,25 +521,75 @@ class AttributeOnlyER:
         attribute_matcher: Optional[Matcher] = None,
         match_threshold: float = 0.6,
         budget: Optional[int] = None,
+        engine: str = "array",
     ) -> None:
+        if engine not in ITERATIVE_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; available: {ITERATIVE_ENGINES}")
         self.attribute_matcher = attribute_matcher or ProfileSimilarityMatcher(threshold=1.0)
         self.match_threshold = match_threshold
         self.budget = budget
+        self.engine = engine
+        #: engine that actually executed the last resolve call
+        self.last_engine: Optional[str] = None
 
     def resolve(
         self,
         collection: EntityCollection,
         candidates: Union[BlockCollection, Iterable[Comparison], None] = None,
     ) -> CollectiveResult:
-        result = CollectiveResult()
-        if candidates is None:
-            from repro.blocking.token_blocking import TokenBlocking
+        if self.engine == "array" and type(self.attribute_matcher) is ProfileSimilarityMatcher:
+            self.last_engine = "array"
+            return self._resolve_array(collection, candidates)
+        self.last_engine = "object"
+        return self._resolve_object(collection, candidates)
 
-            candidates = TokenBlocking().build(collection)
-        if isinstance(candidates, BlockCollection):
-            candidate_pairs = candidates.distinct_pairs()
-        else:
-            candidate_pairs = {comparison.pair for comparison in candidates}
+    def _resolve_array(
+        self,
+        collection: EntityCollection,
+        candidates: Union[BlockCollection, Iterable[Comparison], None],
+    ) -> CollectiveResult:
+        """One batched scoring call over the first ``budget`` resolvable pairs.
+
+        The oracle stops *before* scoring the pair that would exceed the
+        budget and skips unresolvable pairs without counting them, so the
+        scored set is exactly the first ``budget`` resolvable pairs in
+        sorted order.
+        """
+        from repro.matching.engine import MatchingEngine
+
+        result = CollectiveResult()
+        scoring = MatchingEngine(self.attribute_matcher)
+        resolvable: List[Tuple[str, str]] = []
+        batch: List[Tuple[EntityDescription, EntityDescription]] = []
+        for first, second in sorted(_candidate_pairs(collection, candidates)):
+            if self.budget is not None and len(resolvable) >= self.budget:
+                break
+            description_a = collection.get(first)
+            description_b = collection.get(second)
+            if description_a is None or description_b is None:
+                continue
+            resolvable.append((first, second))
+            batch.append((description_a, description_b))
+        scores = scoring.similarity_scores(batch) if batch else []
+
+        links = UnionFind()
+        for (first, second), score in zip(resolvable, scores):
+            result.comparisons_executed += 1
+            if score >= self.match_threshold:
+                result.matches.append((first, second))
+                # historical orientation: the root of ``second`` wins
+                links.union(second, first)
+
+        result.clusters = links.clusters(min_size=2)
+        return result
+
+    def _resolve_object(
+        self,
+        collection: EntityCollection,
+        candidates: Union[BlockCollection, Iterable[Comparison], None],
+    ) -> CollectiveResult:
+        result = CollectiveResult()
+        candidate_pairs = _candidate_pairs(collection, candidates)
 
         links = UnionFind()
 

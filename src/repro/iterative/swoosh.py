@@ -15,6 +15,17 @@ descriptions that neither source matched alone.
 * :class:`NaivePairwiseER` is the baseline: repeatedly compare all pairs of
   current descriptions, merge the first match found, and restart, until no
   pair matches (fixpoint).
+
+Both resolvers carry the two-engine switch of the columnar pipeline:
+``engine="array"`` (the default) scores each comparison row in one batched
+:meth:`~repro.matching.engine.MatchingEngine.similarity_scores` call --
+profiles are interned once instead of re-tokenised per comparison -- while
+``engine="object"`` is the readable per-pair oracle above.  The array path
+requires the exact :class:`~repro.matching.matchers.ProfileSimilarityMatcher`
+type (custom matchers fall back to the object path automatically, reported
+via :attr:`last_engine`); resolution order, comparison counts, merges and
+budget behaviour are bit-identical by construction: a row is only scored up
+to the first match / the remaining budget, exactly where the oracle stops.
 """
 
 from __future__ import annotations
@@ -24,7 +35,10 @@ from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from repro.datamodel.collection import EntityCollection
 from repro.datamodel.description import EntityDescription, merge_descriptions, provenance
-from repro.matching.matchers import Matcher
+from repro.matching.matchers import Matcher, ProfileSimilarityMatcher
+
+#: Execution engines of the iterative resolvers.
+ITERATIVE_ENGINES = ("array", "object")
 
 
 @dataclass
@@ -62,15 +76,86 @@ class RSwoosh:
     budget:
         Optional maximum number of comparisons; the run stops when it is
         exhausted (useful for progressive evaluations).
+    engine:
+        ``"array"`` (default, batched columnar scoring for the exact
+        :class:`ProfileSimilarityMatcher` type) or ``"object"`` (the
+        per-pair oracle); custom matchers fall back to the object path
+        automatically.
     """
 
     name = "r_swoosh"
 
-    def __init__(self, matcher: Matcher, budget: Optional[int] = None) -> None:
+    def __init__(
+        self, matcher: Matcher, budget: Optional[int] = None, engine: str = "array"
+    ) -> None:
+        if engine not in ITERATIVE_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; available: {ITERATIVE_ENGINES}")
         self.matcher = matcher
         self.budget = budget
+        self.engine = engine
+        #: engine that actually executed the last resolve call
+        self.last_engine: Optional[str] = None
 
     def resolve(self, collection: EntityCollection) -> SwooshResult:
+        if self.engine == "array" and type(self.matcher) is ProfileSimilarityMatcher:
+            self.last_engine = "array"
+            return self._resolve_array(collection)
+        self.last_engine = "object"
+        return self._resolve_object(collection)
+
+    def _resolve_array(self, collection: EntityCollection) -> SwooshResult:
+        """Batched resolution: one ``similarity_scores`` call per comparison row.
+
+        Each unresolved description is scored against the resolved set in
+        one batch (capped at the remaining budget); the first score at or
+        above the matcher's threshold is the oracle's first match, and the
+        comparison count advances by exactly the comparisons the oracle
+        would have executed.
+        """
+        from repro.matching.engine import MatchingEngine
+
+        scoring = MatchingEngine(self.matcher)
+        threshold = self.matcher.threshold
+        budget = self.budget
+        result = SwooshResult()
+        unresolved: List[EntityDescription] = list(collection)
+        resolved: List[EntityDescription] = []
+
+        while unresolved:
+            current = unresolved.pop(0)
+            if budget is None:
+                to_check = len(resolved)
+            else:
+                to_check = min(len(resolved), budget - result.comparisons_executed)
+            scores = (
+                scoring.similarity_scores(
+                    [(current, candidate) for candidate in resolved[:to_check]]
+                )
+                if to_check
+                else []
+            )
+            matched_index: Optional[int] = None
+            for index, score in enumerate(scores):
+                if score >= threshold:
+                    matched_index = index
+                    break
+            if matched_index is not None:
+                result.comparisons_executed += matched_index + 1
+                matched_partner = resolved.pop(matched_index)
+                unresolved.insert(0, merge_descriptions(current, matched_partner))
+                result.merges += 1
+                continue
+            result.comparisons_executed += to_check
+            if to_check < len(resolved):
+                # budget exhausted mid-row: emit the rest as-is, like the oracle
+                result.resolved = resolved + [current] + unresolved
+                return result
+            resolved.append(current)
+
+        result.resolved = resolved
+        return result
+
+    def _resolve_object(self, collection: EntityCollection) -> SwooshResult:
         result = SwooshResult()
         unresolved: List[EntityDescription] = list(collection)
         resolved: List[EntityDescription] = []
@@ -109,11 +194,77 @@ class NaivePairwiseER:
 
     name = "naive_pairwise"
 
-    def __init__(self, matcher: Matcher, budget: Optional[int] = None) -> None:
+    def __init__(
+        self, matcher: Matcher, budget: Optional[int] = None, engine: str = "array"
+    ) -> None:
+        if engine not in ITERATIVE_ENGINES:
+            raise ValueError(f"unknown engine {engine!r}; available: {ITERATIVE_ENGINES}")
         self.matcher = matcher
         self.budget = budget
+        self.engine = engine
+        #: engine that actually executed the last resolve call
+        self.last_engine: Optional[str] = None
 
     def resolve(self, collection: EntityCollection) -> SwooshResult:
+        if self.engine == "array" and type(self.matcher) is ProfileSimilarityMatcher:
+            self.last_engine = "array"
+            return self._resolve_array(collection)
+        self.last_engine = "object"
+        return self._resolve_object(collection)
+
+    def _resolve_array(self, collection: EntityCollection) -> SwooshResult:
+        """Batched fixpoint: score row ``i`` against all later rows in one call."""
+        from repro.matching.engine import MatchingEngine
+
+        scoring = MatchingEngine(self.matcher)
+        threshold = self.matcher.threshold
+        budget = self.budget
+        result = SwooshResult()
+        current: List[EntityDescription] = list(collection)
+
+        changed = True
+        while changed:
+            changed = False
+            merged_pair: Optional[Tuple[int, int]] = None
+            for i in range(len(current)):
+                row = current[i + 1 :]
+                if not row:
+                    continue
+                if budget is None:
+                    to_check = len(row)
+                else:
+                    to_check = min(len(row), budget - result.comparisons_executed)
+                scores = (
+                    scoring.similarity_scores([(current[i], other) for other in row[:to_check]])
+                    if to_check
+                    else []
+                )
+                matched_offset: Optional[int] = None
+                for offset, score in enumerate(scores):
+                    if score >= threshold:
+                        matched_offset = offset
+                        break
+                if matched_offset is not None:
+                    result.comparisons_executed += matched_offset + 1
+                    merged_pair = (i, i + 1 + matched_offset)
+                    break
+                result.comparisons_executed += to_check
+                if to_check < len(row):
+                    result.resolved = current
+                    return result
+            if merged_pair is not None:
+                i, j = merged_pair
+                merged = merge_descriptions(current[i], current[j])
+                del current[j]
+                del current[i]
+                current.append(merged)
+                result.merges += 1
+                changed = True
+
+        result.resolved = current
+        return result
+
+    def _resolve_object(self, collection: EntityCollection) -> SwooshResult:
         result = SwooshResult()
         current: List[EntityDescription] = list(collection)
 

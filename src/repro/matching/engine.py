@@ -415,13 +415,119 @@ class MatchingEngine:
         flags = _np.zeros(store.vocabulary_size, dtype=bool)
         for left, group in self._grouped(profile_pairs).items():
             left_ids = left.np_ids
+            left_size = len(left)
             flags[left_ids] = True
+            non_empty = [(index, right) for index, right in group if len(right)]
             for index, right in group:
-                # one gather per pair: count the right profile's token ids
-                # marked by the left profile's scatter
-                shared = int(flags[right.np_ids].sum()) if len(right) else 0
-                scores[index] = _set_score(name, len(left), len(right), shared)
+                if not len(right):
+                    scores[index] = _set_score(name, left_size, 0, 0)
+            if len(non_empty) == 1:
+                # a single partner: one gather, no concatenation overhead
+                index, right = non_empty[0]
+                shared = int(flags[right.np_ids].sum())
+                scores[index] = _set_score(name, left_size, len(right), shared)
+            elif non_empty:
+                # one gather for the whole group: concatenate the right
+                # profiles' token ids and segment-sum the marked flags
+                sizes = [len(right) for _index, right in non_empty]
+                offsets = _np.zeros(len(sizes), dtype=_np.intp)
+                _np.cumsum(sizes[:-1], out=offsets[1:])
+                marked = flags[
+                    _np.concatenate([right.np_ids for _index, right in non_empty])
+                ]
+                shared_counts = _np.add.reduceat(marked, offsets, dtype=_np.intp)
+                for (index, right), shared in zip(non_empty, shared_counts.tolist()):
+                    scores[index] = _set_score(name, left_size, len(right), shared)
             flags[left_ids] = False
+        return scores
+
+    def score_id_set_pairs(
+        self,
+        pairs: Sequence[Tuple[int, int]],
+        id_columns: Sequence[Sequence[int]],
+        vocabulary_size: int,
+    ) -> List[float]:
+        """Set-mode scores of ordinal pairs over precomputed token-id columns.
+
+        The fully columnar entry point of the set scorer: callers that
+        already hold one *distinct* token-id column per description (e.g.
+        the similarity-join array build's
+        :class:`~repro.blocking.columns.TokenColumnView`) score candidate
+        ordinal pairs without materialising descriptions or profiles.
+        Scores use the exact :func:`_set_score` expressions of every other
+        batch path, so they are bit-identical to the per-pair oracle's
+        similarities.  Requires the batch engine, a natively supported
+        set-mode matcher, and columns indexed by the ordinals in ``pairs``.
+        """
+        if not self.batch_applicable:
+            raise ValueError(
+                "score_id_set_pairs requires the batch engine and a natively "
+                "supported matcher"
+            )
+        if getattr(self.matcher, "vectorizer", None) is not None:
+            raise ValueError("score_id_set_pairs only supports set-mode matchers")
+        self.last_engine = "batch"
+        name = self.matcher.similarity_name
+        scores: List[float] = [0.0] * len(pairs)
+        if self._use_numpy and len(pairs) > 1:
+            # runs of equal first ordinals share one scatter of the first
+            # column; callers that sort their pairs (the similarity join
+            # emits them in ascending canonical order) get one run per
+            # distinct left-hand description for free
+            np_columns = [_np.asarray(column, dtype=_np.intp) for column in id_columns]
+            sizes = [len(column) for column in id_columns]
+            flags = _np.zeros(vocabulary_size, dtype=bool)
+            total = len(pairs)
+            start = 0
+            while start < total:
+                first = pairs[start][0]
+                stop = start + 1
+                while stop < total and pairs[stop][0] == first:
+                    stop += 1
+                first_size = sizes[first]
+                seconds = [pairs[index][1] for index in range(start, stop)]
+                non_empty = [second for second in seconds if sizes[second]]
+                if len(non_empty) < len(seconds):
+                    for offset, second in enumerate(seconds):
+                        if not sizes[second]:
+                            scores[start + offset] = _set_score(name, first_size, 0, 0)
+                if non_empty:
+                    first_ids = np_columns[first]
+                    flags[first_ids] = True
+                    if len(non_empty) == 1:
+                        shared_counts = [int(flags[np_columns[non_empty[0]]].sum())]
+                    else:
+                        offsets = _np.zeros(len(non_empty), dtype=_np.intp)
+                        _np.cumsum([sizes[s] for s in non_empty[:-1]], out=offsets[1:])
+                        marked = flags[
+                            _np.concatenate([np_columns[s] for s in non_empty])
+                        ]
+                        shared_counts = _np.add.reduceat(
+                            marked, offsets, dtype=_np.intp
+                        ).tolist()
+                    counts = iter(shared_counts)
+                    for offset, second in enumerate(seconds):
+                        second_size = sizes[second]
+                        if second_size:
+                            scores[start + offset] = _set_score(
+                                name, first_size, second_size, next(counts)
+                            )
+                    flags[first_ids] = False
+                start = stop
+            return scores
+        sets: Dict[int, frozenset] = {}
+
+        def id_set(ordinal: int) -> frozenset:
+            cached = sets.get(ordinal)
+            if cached is None:
+                sets[ordinal] = cached = frozenset(id_columns[ordinal])
+            return cached
+
+        for index, (first, second) in enumerate(pairs):
+            first_set = id_set(first)
+            second_set = id_set(second)
+            shared = len(first_set & second_set)
+            scores[index] = _set_score(name, len(first_set), len(second_set), shared)
         return scores
 
     @staticmethod

@@ -30,19 +30,35 @@ class TestEngineSelection:
     def test_default_builder_is_token_blocking(self):
         assert isinstance(BlockingEngine().builder, TokenBlocking)
 
-    def test_non_token_builder_falls_back_for_build_only(self):
+    def test_sorted_neighborhood_runs_on_the_index_engine(self):
         data = _collection(("a", "alan turing"), ("b", "alan hopper"), ("c", "grace hopper"))
         engine = BlockingEngine(SortedNeighborhoodBlocking(window_size=2), engine="index")
         blocks = engine.build(data)
+        assert engine.last_engine == "index"
+        engine.clean(blocks, purging=BlockPurging())
+        assert engine.last_engine == "index"
+
+    def test_custom_builder_falls_back_for_build_only(self):
+        class CustomBuilder(SortedNeighborhoodBlocking):
+            pass
+
+        data = _collection(("a", "alan turing"), ("b", "alan hopper"), ("c", "grace hopper"))
+        engine = BlockingEngine(CustomBuilder(window_size=2), engine="index")
+        with pytest.warns(RuntimeWarning):
+            blocks = engine.build(data)
         assert engine.last_engine == "oracle"
         # ...but cleaning a foreign builder's blocks still runs on the index
         engine.clean(blocks, purging=BlockPurging())
         assert engine.last_engine == "index"
 
     def test_run_reports_oracle_when_build_fell_back(self):
+        class CustomBuilder(SortedNeighborhoodBlocking):
+            pass
+
         data = _collection(("a", "alan turing"), ("b", "alan hopper"))
-        engine = BlockingEngine(SortedNeighborhoodBlocking(window_size=2), engine="index")
-        engine.run(data, purging=BlockPurging())
+        engine = BlockingEngine(CustomBuilder(window_size=2), engine="index")
+        with pytest.warns(RuntimeWarning):
+            engine.run(data, purging=BlockPurging())
         assert engine.last_engine == "oracle"
 
     def test_clean_without_steps_reports_configured_engine(self):

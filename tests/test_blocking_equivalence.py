@@ -183,7 +183,8 @@ def test_builder_subclass_falls_back_to_oracle():
 
     data = random_dirty_collection(5)
     engine = BlockingEngine(FirstCharBlocking(), engine="index")
-    blocks = engine.build(data)
+    with pytest.warns(RuntimeWarning, match="FirstCharBlocking"):
+        blocks = engine.build(data)
     assert engine.last_engine == "oracle"
     assert snapshot(blocks) == snapshot(FirstCharBlocking().build(data))
 

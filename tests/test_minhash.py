@@ -54,6 +54,56 @@ class TestMinHashSignature:
         assert abs(estimate - true_value) < 0.25  # 256 hashes -> ~0.06 std dev
 
 
+class TestSeedScheme:
+    """Regression pins for the documented single-seed coefficient scheme.
+
+    All per-permutation hash coefficients derive from one
+    ``random.Random(seed)`` stream with interleaved draws (``a`` then ``b``
+    per permutation), so signatures are reproducible across processes,
+    platforms and the NumPy / pure-Python execution paths.  These exact
+    values freeze that scheme: any change to the coefficient derivation or
+    the hash formula fails here.
+    """
+
+    PINNED_SEED1 = (1434420979, 299719476, 2515576889, 415895635, 336185130, 481492652)
+    PINNED_SEED1_LIST = (862546453, 279635279, 2252660844, 1890348927, 3875282939, 1726461862)
+    PINNED_SEED2 = (1166568483, 1821668160, 2252152919, 907176, 901517740, 1180670238)
+
+    def test_signatures_pinned_for_default_seed(self):
+        minhash = MinHashSignature(num_hashes=6, seed=1)
+        assert minhash.signature({"alan", "turing", "london"}) == self.PINNED_SEED1
+        # iteration order of the input is irrelevant: tokens are hashed
+        assert minhash.signature(["grace", "hopper"]) == self.PINNED_SEED1_LIST
+
+    def test_signatures_pinned_for_other_seed(self):
+        minhash = MinHashSignature(num_hashes=6, seed=2)
+        assert minhash.signature({"alan", "turing", "london"}) == self.PINNED_SEED2
+
+    def test_prefix_stability(self):
+        """Interleaved draws: the first permutations never depend on num_hashes."""
+        longer = MinHashSignature(num_hashes=12, seed=1)
+        assert longer.signature({"alan", "turing", "london"})[:6] == self.PINNED_SEED1
+
+    def test_array_engine_reproduces_pinned_band_keys(self):
+        from repro.blocking.engine import BlockingEngine
+
+        collection = EntityCollection(
+            [
+                EntityDescription("a1", {"name": "alan mathison turing"}),
+                EntityDescription("a2", {"label": "alan mathison turing"}),
+            ]
+        )
+        oracle = MinHashLSHBlocking(num_bands=3, rows_per_band=2, seed=1).build(collection)
+        for use_numpy in (None, False):
+            engine = BlockingEngine(
+                MinHashLSHBlocking(num_bands=3, rows_per_band=2, seed=1),
+                engine="index",
+                use_numpy=use_numpy,
+            )
+            built = engine.build(collection)
+            assert [b.key for b in built] == [b.key for b in oracle]
+
+
 class TestMinHashLSHBlocking:
     def make_collection(self):
         return EntityCollection(

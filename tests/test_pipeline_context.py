@@ -260,3 +260,23 @@ class TestSingleInterning:
         calls = self._count_normalize_calls(monkeypatch)
         default_workflow(shared_context=False).run(data, dirty.ground_truth)
         assert len(calls) >= 2 * num_values
+
+    @pytest.mark.parametrize(
+        "blocking",
+        (
+            "minhash_lsh",
+            "canopy",
+            "sorted_neighborhood",
+            "extended_sorted_neighborhood",
+            "similarity_join",
+        ),
+    )
+    def test_ported_schemes_tokenise_each_value_exactly_once(
+        self, dirty, monkeypatch, blocking
+    ):
+        """Every newly ported family rides the context: zero extra tokenisation."""
+        data = dirty.collection
+        num_values = sum(len(description.values()) for description in data)
+        calls = self._count_normalize_calls(monkeypatch)
+        default_workflow(blocking=blocking).run(data, dirty.ground_truth)
+        assert len(calls) == num_values

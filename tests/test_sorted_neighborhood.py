@@ -4,6 +4,7 @@ import pytest
 
 from repro.blocking.sorted_neighborhood import (
     ExtendedSortedNeighborhoodBlocking,
+    MultiPassSortedNeighborhoodBlocking,
     SortedNeighborhoodBlocking,
     sorted_order,
     sorting_key_from_attributes,
@@ -114,3 +115,116 @@ def test_extended_variant_groups_by_distinct_keys():
 def test_tiny_collections_produce_no_blocks():
     single = EntityCollection([EntityDescription("only", {"name": "x"})])
     assert len(SortedNeighborhoodBlocking().build(single)) == 0
+
+
+class TestWindowEdgeCases:
+    """Edge cases pinning the oracle behaviour the array engine reproduces."""
+
+    def test_window_larger_than_collection_yields_one_block(self):
+        collection = make_collection()  # 5 descriptions
+        for window_size in (5, 6, 50):
+            blocks = SortedNeighborhoodBlocking(window_size=window_size).build(collection)
+            # max(1, n - w + 1) == 1: exactly one window holding everything
+            assert len(blocks) == 1
+            assert blocks[0].key == "window:0"
+            assert set(blocks[0].members) == {"e1", "e2", "e3", "e4", "e5"}
+
+    def test_window_equal_to_collection_yields_one_block(self):
+        blocks = SortedNeighborhoodBlocking(window_size=5).build(make_collection())
+        assert [block.key for block in blocks] == ["window:0"]
+
+    def test_duplicate_keys_spanning_a_window_break_ties_by_identifier(self):
+        collection = EntityCollection(
+            [
+                EntityDescription("e3", {"name": "same"}),
+                EntityDescription("e1", {"name": "same"}),
+                EntityDescription("e2", {"name": "same"}),
+                EntityDescription("e4", {"name": "zz"}),
+            ]
+        )
+        blocks = SortedNeighborhoodBlocking(window_size=2).build(collection)
+        # equal keys order by identifier, not by insertion order
+        assert [list(block.members) for block in blocks] == [
+            ["e1", "e2"],
+            ["e2", "e3"],
+            ["e3", "e4"],
+        ]
+
+    def test_clean_clean_bilateral_orientation(self):
+        """Window members split into left/right sides, preserving sorted order."""
+        left = EntityCollection(
+            [
+                EntityDescription("l1", {"name": "aaron"}),
+                EntityDescription("l2", {"name": "cara"}),
+            ],
+            name="left",
+        )
+        right = EntityCollection(
+            [
+                EntityDescription("r1", {"name": "bella"}),
+                EntityDescription("r2", {"name": "aaron z"}),
+            ],
+            name="right",
+        )
+        blocks = SortedNeighborhoodBlocking(window_size=3).build(CleanCleanTask(left, right))
+        for block in blocks:
+            assert block.is_bilateral
+            assert set(block.left_members) <= {"l1", "l2"}
+            assert set(block.right_members) <= {"r1", "r2"}
+        # sorted keys: aaron(l1), aaron z(r2), bella(r1), cara(l2)
+        first = blocks[0]
+        assert first.key == "window:0"
+        assert list(first.left_members) == ["l1"]
+        assert list(first.right_members) == ["r2", "r1"]
+
+    def test_single_side_windows_are_dropped_in_clean_clean(self):
+        """A window containing only one side produces no bilateral block."""
+        left = EntityCollection(
+            [
+                EntityDescription("l1", {"name": "aa"}),
+                EntityDescription("l2", {"name": "ab"}),
+                EntityDescription("l3", {"name": "ac"}),
+            ],
+            name="left",
+        )
+        right = EntityCollection([EntityDescription("r1", {"name": "zz"})], name="right")
+        blocks = SortedNeighborhoodBlocking(window_size=2).build(CleanCleanTask(left, right))
+        # windows 0 and 1 hold only left members; only the final window survives
+        assert [block.key for block in blocks] == ["window:2"]
+
+
+class TestMultiPassVariant:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MultiPassSortedNeighborhoodBlocking(window_size=1)
+        with pytest.raises(ValueError):
+            MultiPassSortedNeighborhoodBlocking(sorting_keys=())
+
+    def test_single_default_pass_mirrors_plain_sorted_neighborhood(self):
+        collection = make_collection()
+        single = SortedNeighborhoodBlocking(window_size=2).build(collection)
+        multi = MultiPassSortedNeighborhoodBlocking(
+            window_size=2, sorting_keys=(None,)
+        ).build(collection)
+        assert [b.key for b in multi] == [f"pass0:{b.key}" for b in single]
+        assert [b.members for b in multi] == [b.members for b in single]
+
+    def test_each_pass_emits_independent_windows(self):
+        collection = EntityCollection(
+            [
+                EntityDescription("e1", {"name": "aaron", "city": "zurich"}),
+                EntityDescription("e2", {"name": "zoe", "city": "zurich b"}),
+                EntityDescription("e3", {"name": "aaron b", "city": "london"}),
+            ]
+        )
+        multi = MultiPassSortedNeighborhoodBlocking(
+            window_size=2,
+            sorting_keys=(
+                sorting_key_from_attributes(["name"]),
+                sorting_key_from_attributes(["city"]),
+            ),
+        ).build(collection)
+        pairs = multi.distinct_pairs()
+        # the name pass neighbours the two aarons, the city pass the two zurichs
+        assert ("e1", "e3") in pairs
+        assert ("e1", "e2") in pairs
