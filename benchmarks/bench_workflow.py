@@ -23,6 +23,7 @@ protocol as ``bench_metablocking.py``/``bench_matching.py``.
 
 from __future__ import annotations
 
+import json
 import multiprocessing
 import os
 import sys
@@ -34,7 +35,7 @@ try:
 except ImportError:  # pragma: no cover - Windows has no resource module
     resource = None
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import RESULTS_DIR, save_table
 from repro.core.config import WorkflowConfig
 from repro.core.workflow import ERWorkflow
 from repro.datasets import DatasetConfig, generate_dirty_dataset
@@ -150,6 +151,7 @@ def test_workflow_old_vs_new(benchmark):
     sizes = (WORKFLOW_QUICK_SIZE,) if quick else WORKFLOW_COMPARISON_SIZES
 
     rows = []
+    json_rows = []
     speedups = {}
     for num_entities in sizes:
         collection, ground_truth = _workflow_input(num_entities)
@@ -159,6 +161,18 @@ def test_workflow_old_vs_new(benchmark):
                 name, collection, ground_truth
             )
             measured[name] = (seconds, summary)
+            json_rows.append(
+                {
+                    "entities": num_entities,
+                    "pipeline": name,
+                    "comparisons": summary["comparisons"],
+                    "matches": len(summary["matches"]),
+                    "f1": summary["f1"],
+                    "seconds": seconds,
+                    "peak_alloc_bytes": peak,
+                    "peak_rss_bytes": rss,
+                }
+            )
             rows.append(
                 {
                     "entities": num_entities,
@@ -181,6 +195,18 @@ def test_workflow_old_vs_new(benchmark):
         speedups[(num_entities, "columnar/shared")] = measured["columnar"][0] / max(
             1e-9, measured["shared"][0]
         )
+
+    payload = {
+        "experiment": "BENCH_workflow",
+        "workload": "end-to-end workflow (token+CBS/WNP+weight_order+tfidf)",
+        "quick": quick,
+        "rows": json_rows,
+        "speedups": {f"{n}:{kind}": s for (n, kind), s in speedups.items()},
+    }
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    (RESULTS_DIR / "BENCH_workflow.json").write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
 
     save_table(
         "E12_workflow_pipeline_comparison",

@@ -175,6 +175,29 @@ def _command_link(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_incremental(args: argparse.Namespace) -> int:
+    collection = _load_collection(args.input, args.id_field)
+    config = WorkflowConfig(
+        match_threshold=args.threshold,
+        incremental_engine=args.engine,
+    )
+    workflow = ERWorkflow(config)
+    mode = f"restored from {args.restore}" if args.restore else "fresh index"
+    print(
+        f"incrementally resolving {len(collection)} arrivals "
+        f"(engine={args.engine}, threshold={args.threshold}, {mode})"
+    )
+    result = workflow.run_incremental(
+        collection, snapshot=args.snapshot, restore=args.restore
+    )
+    print(result.report.render())
+    print(f"{len(result.clusters)} clusters, {result.num_matches} declared matches")
+    if args.snapshot:
+        print(f"snapshot written to {args.snapshot}")
+    _write_clusters(result.clusters, args.output)
+    return 0
+
+
 def _command_generate(args: argparse.Namespace) -> int:
     config = DatasetConfig(
         num_entities=args.entities,
@@ -223,6 +246,40 @@ def build_parser() -> argparse.ArgumentParser:
     link.add_argument("right", help="CSV or JSON file of the second collection")
     _add_workflow_arguments(link)
     link.set_defaults(handler=_command_link)
+
+    incremental = subparsers.add_parser(
+        "incremental",
+        help="resolve a collection as an arrival stream, with optional "
+        "snapshot/restore of the resolution state",
+    )
+    incremental.add_argument(
+        "input", help="CSV or JSON file with one row/object per description"
+    )
+    incremental.add_argument(
+        "--engine",
+        default="array",
+        choices=["array", "object"],
+        help="incremental engine: growable columnar index with snapshot "
+        "support (array) or the per-pair object oracle",
+    )
+    incremental.add_argument(
+        "--threshold", type=float, default=0.55, help="match threshold"
+    )
+    incremental.add_argument(
+        "--snapshot",
+        default=None,
+        help="directory to persist the resolution state to after the stream "
+        "(array engine only)",
+    )
+    incremental.add_argument(
+        "--restore",
+        default=None,
+        help="snapshot directory to start from (memory-mapped; arrivals "
+        "resolve on top of the restored state)",
+    )
+    incremental.add_argument("--id-field", default="id", help="identifier column for CSV input")
+    incremental.add_argument("--output", default=None, help="file to write the clusters to")
+    incremental.set_defaults(handler=_command_incremental)
 
     generate = subparsers.add_parser("generate", help="generate a synthetic workload")
     generate.add_argument("--entities", type=int, default=500)

@@ -90,6 +90,15 @@ class WorkflowConfig:
         lets every engine intern its own per-stage store (the historical
         behaviour).  Results are bit-identical either way; the shared
         context only removes the redundant tokenisation passes.
+    incremental_engine:
+        Execution engine of :meth:`~repro.core.workflow.ERWorkflow.run_incremental`:
+        ``"array"`` (default, the growable columnar
+        :class:`~repro.iterative.index.IncrementalIndex` with snapshot
+        support) or ``"object"`` (the per-pair oracle).  Streams resolve
+        bit-identically on both -- clusters, merged representations, match
+        decisions and comparison counts; TF-IDF and custom matchers fall
+        back to the object path automatically.  See
+        :mod:`repro.iterative.incremental`.
     num_workers:
         Number of worker processes of the multi-process parallel engine
         (:class:`~repro.mapreduce.parallel.ParallelEngine`).  The default
@@ -119,6 +128,7 @@ class WorkflowConfig:
     max_iterations: int = 3
     clustering: str = "connected_components"
     clustering_engine: str = "array"
+    incremental_engine: str = "array"
     shared_context: bool = True
     num_workers: int = 1
 

@@ -1,0 +1,263 @@
+"""Versioned on-disk snapshots of flat columnar state.
+
+The incremental-ER index (ROADMAP item 2) is an always-on service component:
+its resolution state -- a growable vocabulary, token-id columns, union--find
+parents, cluster postings -- must survive a restart without re-interning the
+whole arrival history.  This module is the persistence primitive that makes
+that possible: a snapshot is a **directory of ``.npy`` files plus a
+``manifest.json``**, written with a pure-Python ``.npy`` v1.0 writer so the
+bytes on disk are identical whether or not NumPy is installed.
+
+Design rules:
+
+* **One format, two readers.**  Columns are standard one-dimensional
+  little-endian ``.npy`` arrays (``<i8``).  With NumPy installed they are
+  opened with ``np.load(mmap_mode="r")``; without it, with ``mmap`` +
+  ``memoryview.cast('q')``.  Either way a loaded column is a zero-copy view
+  over the file, and both readers see bit-identical values.
+* **Strings as blob + offsets.**  A string column is a raw UTF-8
+  concatenation (``<name>.blob``) plus an ``int64`` offset column of length
+  ``n + 1`` -- the same CSR shape as every other column.
+* **Versioned manifest.**  ``manifest.json`` records
+  :data:`SNAPSHOT_FORMAT_VERSION`, the column/string inventory with lengths
+  (validated on load) and a free-form ``meta`` mapping for the writer's own
+  configuration.  A reader refuses manifests whose major format version it
+  does not know -- snapshots are a service interface, failing loudly beats
+  misreading state.
+
+The module is deliberately generic: it knows nothing about entity resolution,
+only about named int64 columns, named string columns and a metadata dict.
+:class:`~repro.core.growable.GrowableContext` and
+:class:`~repro.iterative.index.IncrementalIndex` layer their schemas on top.
+"""
+
+from __future__ import annotations
+
+import ast
+import json
+import mmap
+import struct
+from array import array
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Sequence, Union
+
+try:  # optional accelerator -- the format does not depend on it
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    _np = None
+
+__all__ = [
+    "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotReader",
+    "SnapshotWriter",
+    "read_npy",
+    "write_npy",
+]
+
+#: Version of the on-disk layout.  Bump on any incompatible change to the
+#: column schema or encoding; readers require an exact match.
+SNAPSHOT_FORMAT_VERSION = 1
+
+_MAGIC = b"\x93NUMPY"
+_INT64 = "<i8"
+_MANIFEST = "manifest.json"
+
+
+# ----------------------------------------------------------------------
+# .npy primitives (pure Python, NumPy-compatible)
+# ----------------------------------------------------------------------
+def _npy_header(count: int, descr: str) -> bytes:
+    """A NumPy-format 1.0 header for a 1-D array, padded numpy-style.
+
+    The header dict uses the exact literal layout ``np.lib.format`` emits and
+    is padded with spaces so the data section starts on a 64-byte boundary --
+    which is what makes the memory-mapped ``memoryview.cast('q')`` aligned.
+    """
+    header = "{'descr': '%s', 'fortran_order': False, 'shape': (%d,), }" % (
+        descr,
+        count,
+    )
+    text = header.encode("latin1")
+    unpadded = len(_MAGIC) + 2 + 2 + len(text) + 1  # magic, version, length, newline
+    text += b" " * ((-unpadded) % 64) + b"\n"
+    return _MAGIC + b"\x01\x00" + struct.pack("<H", len(text)) + text
+
+
+def write_npy(path: Union[str, Path], chunks: Iterable[Any], count: int) -> None:
+    """Write int64 buffers as one 1-D little-endian ``.npy`` file.
+
+    ``chunks`` is any iterable of buffer-protocol objects (``array('q')``,
+    ``memoryview`` views, NumPy arrays) whose element counts sum to
+    ``count``; they are streamed straight to the file, so growable columns
+    persist without a flat copy.
+    """
+    path = Path(path)
+    written = 0
+    with open(path, "wb") as handle:
+        handle.write(_npy_header(count, _INT64))
+        for chunk in chunks:
+            view = memoryview(chunk)
+            if view.format != "q" and view.format != "<q":
+                view = view.cast("B").cast("q")
+            written += len(view)
+            handle.write(view)
+    if written != count:
+        raise ValueError(f"{path.name}: wrote {written} values, declared {count}")
+
+
+def _parse_npy_header(buffer: Any) -> "tuple[str, int, int]":
+    """``(descr, count, data offset)`` of a 1-D ``.npy`` buffer."""
+    if bytes(buffer[:6]) != _MAGIC:
+        raise ValueError("not a .npy file (bad magic)")
+    major = buffer[6]
+    if major == 1:
+        (header_len,) = struct.unpack_from("<H", buffer, 8)
+        start = 10
+    elif major == 2:
+        (header_len,) = struct.unpack_from("<I", buffer, 8)
+        start = 12
+    else:
+        raise ValueError(f"unsupported .npy version {major}")
+    info = ast.literal_eval(bytes(buffer[start : start + header_len]).decode("latin1"))
+    shape = info["shape"]
+    if info.get("fortran_order") or len(shape) != 1:
+        raise ValueError(f"expected a C-ordered 1-D array, got {info!r}")
+    return info["descr"], shape[0], start + header_len
+
+
+def read_npy(path: Union[str, Path], use_numpy: Optional[bool] = None) -> Sequence[int]:
+    """Memory-map a 1-D int64 ``.npy`` file back as a zero-copy view.
+
+    Returns an ``np.memmap``-backed array when NumPy is importable (unless
+    ``use_numpy=False``), otherwise a ``memoryview`` cast to ``'q'`` over an
+    ``mmap``.  Both support ``len``, indexing, slicing and iteration; the
+    ``memoryview`` keeps its ``mmap`` alive through the buffer protocol.
+    """
+    path = Path(path)
+    numpy_wanted = (_np is not None) if use_numpy is None else bool(use_numpy)
+    if numpy_wanted:
+        if _np is None:
+            raise ValueError("use_numpy=True but numpy is not importable")
+        loaded = _np.load(str(path), mmap_mode="r")
+        if loaded.ndim != 1 or loaded.dtype != _np.int64:
+            raise ValueError(f"{path.name}: expected a 1-D int64 column")
+        return loaded
+    with open(path, "rb") as handle:
+        mapped = mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+    descr, count, offset = _parse_npy_header(mapped)
+    if descr != _INT64:
+        raise ValueError(f"{path.name}: expected {_INT64}, got {descr!r}")
+    return memoryview(mapped)[offset : offset + count * 8].cast("q")
+
+
+# ----------------------------------------------------------------------
+# snapshot directories
+# ----------------------------------------------------------------------
+def _chunks_of(values: Any) -> "tuple[List[Any], int]":
+    """Buffer chunks + total element count of any supported column source."""
+    chunks = getattr(values, "chunks", None)
+    if callable(chunks):  # GrowableColumn-style
+        return list(chunks()), len(values)
+    if isinstance(values, array) and values.typecode == "q":
+        return [values], len(values)
+    if _np is not None and isinstance(values, _np.ndarray):
+        return [_np.ascontiguousarray(values, dtype=_np.int64)], len(values)
+    flat = array("q", values)
+    return [flat], len(flat)
+
+
+class SnapshotWriter:
+    """Writes named columns, string tables and metadata into a directory."""
+
+    def __init__(self, path: Union[str, Path]) -> None:
+        self.path = Path(path)
+        self.path.mkdir(parents=True, exist_ok=True)
+        self._columns: Dict[str, int] = {}
+        self._strings: Dict[str, int] = {}
+        self._meta: Dict[str, Any] = {}
+
+    def column(self, name: str, values: Any) -> None:
+        """Persist an int64 column under ``name``."""
+        if name in self._columns or name in self._strings:
+            raise ValueError(f"duplicate snapshot column {name!r}")
+        chunks, count = _chunks_of(values)
+        write_npy(self.path / f"{name}.npy", chunks, count)
+        self._columns[name] = count
+
+    def strings(self, name: str, values: Sequence[str]) -> None:
+        """Persist a string column as a UTF-8 blob plus int64 offsets."""
+        if name in self._columns or name in self._strings:
+            raise ValueError(f"duplicate snapshot column {name!r}")
+        offsets = array("q", [0])
+        pieces: List[bytes] = []
+        total = 0
+        for value in values:
+            encoded = value.encode("utf-8")
+            pieces.append(encoded)
+            total += len(encoded)
+            offsets.append(total)
+        (self.path / f"{name}.blob").write_bytes(b"".join(pieces))
+        write_npy(self.path / f"{name}.off.npy", [offsets], len(offsets))
+        self._strings[name] = len(values)
+
+    def meta(self, **entries: Any) -> None:
+        """Merge JSON-serialisable entries into the manifest metadata."""
+        self._meta.update(entries)
+
+    def close(self) -> None:
+        """Write ``manifest.json``; the snapshot is incomplete without it."""
+        manifest = {
+            "format_version": SNAPSHOT_FORMAT_VERSION,
+            "columns": self._columns,
+            "strings": self._strings,
+            "meta": self._meta,
+        }
+        (self.path / _MANIFEST).write_text(
+            json.dumps(manifest, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+        )
+
+
+class SnapshotReader:
+    """Opens a snapshot directory, validating version and inventory."""
+
+    def __init__(self, path: Union[str, Path], use_numpy: Optional[bool] = None) -> None:
+        self.path = Path(path)
+        self._use_numpy = use_numpy
+        manifest_path = self.path / _MANIFEST
+        if not manifest_path.is_file():
+            raise FileNotFoundError(f"no snapshot manifest at {manifest_path}")
+        manifest = json.loads(manifest_path.read_text(encoding="utf-8"))
+        version = manifest.get("format_version")
+        if version != SNAPSHOT_FORMAT_VERSION:
+            raise ValueError(
+                f"snapshot format version {version!r} is not supported "
+                f"(this build reads version {SNAPSHOT_FORMAT_VERSION})"
+            )
+        self._columns: Dict[str, int] = manifest["columns"]
+        self._strings: Dict[str, int] = manifest["strings"]
+        self.meta: Dict[str, Any] = manifest.get("meta", {})
+
+    def column(self, name: str) -> Sequence[int]:
+        """Memory-mapped view of the int64 column ``name``."""
+        if name not in self._columns:
+            raise KeyError(f"snapshot has no column {name!r}")
+        view = read_npy(self.path / f"{name}.npy", use_numpy=self._use_numpy)
+        if len(view) != self._columns[name]:
+            raise ValueError(
+                f"column {name!r}: manifest declares {self._columns[name]} "
+                f"values, file holds {len(view)}"
+            )
+        return view
+
+    def strings(self, name: str) -> List[str]:
+        """The string column ``name``, decoded eagerly."""
+        if name not in self._strings:
+            raise KeyError(f"snapshot has no string column {name!r}")
+        blob = (self.path / f"{name}.blob").read_bytes()
+        offsets = read_npy(self.path / f"{name}.off.npy", use_numpy=self._use_numpy)
+        if len(offsets) != self._strings[name] + 1:
+            raise ValueError(f"string column {name!r}: offset table length mismatch")
+        return [
+            blob[offsets[index] : offsets[index + 1]].decode("utf-8")
+            for index in range(self._strings[name])
+        ]

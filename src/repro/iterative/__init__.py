@@ -33,7 +33,12 @@ clusters emit in ascending surviving-cluster order.
 """
 
 from repro.iterative.collective import AttributeOnlyER, CollectiveER, CollectiveResult
-from repro.iterative.incremental import ArrivalResult, IncrementalResolver
+from repro.iterative.incremental import (
+    INCREMENTAL_ENGINES,
+    ArrivalResult,
+    IncrementalResolver,
+)
+from repro.iterative.index import IncrementalIndex
 from repro.iterative.iterative_blocking import (
     IndependentBlockProcessing,
     IterativeBlocking,
@@ -44,11 +49,13 @@ from repro.iterative.swoosh import ITERATIVE_ENGINES, NaivePairwiseER, RSwoosh, 
 
 __all__ = [
     "ArrivalResult",
+    "INCREMENTAL_ENGINES",
     "ITERATIVE_ENGINES",
     "AttributeOnlyER",
     "CollectiveER",
     "CollectiveResult",
     "ComparisonQueue",
+    "IncrementalIndex",
     "IncrementalResolver",
     "IndependentBlockProcessing",
     "IterativeBlocking",

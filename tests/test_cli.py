@@ -173,3 +173,44 @@ def test_clustering_algorithm_flag(tmp_path, capsys):
     assert "clustering[merge_center@array]" in out
     with pytest.raises(SystemExit):
         build_parser().parse_args(["resolve", "x.csv", "--clustering", "bogus"])
+
+
+def test_incremental_snapshot_restore_roundtrip(tmp_path, capsys):
+    data = tmp_path / "dirty.csv"
+    main(["generate", "--entities", "30", "--seed", "9", "--output", str(data)])
+    snap = tmp_path / "snap"
+    clusters_file = tmp_path / "clusters.txt"
+    assert (
+        main(
+            [
+                "incremental",
+                str(data),
+                "--threshold",
+                "0.5",
+                "--snapshot",
+                str(snap),
+                "--output",
+                str(clusters_file),
+            ]
+        )
+        == 0
+    )
+    out = capsys.readouterr().out
+    assert "incremental[profile_similarity@array]" in out
+    assert "incremental_snapshot" in out
+    assert clusters_file.exists()
+    assert (snap / "manifest.json").is_file()
+
+    # a later stream resumes from the snapshot without re-adding the history
+    more = tmp_path / "more.csv"
+    more.write_text("id,name\nnew:1,Completely Fresh Record\n")
+    assert main(["incremental", str(more), "--restore", str(snap)]) == 0
+    out = capsys.readouterr().out
+    assert "incremental_restore" in out
+
+
+def test_incremental_object_engine_flag(tmp_path, capsys):
+    data = tmp_path / "dirty.csv"
+    main(["generate", "--entities", "20", "--seed", "9", "--output", str(data)])
+    assert main(["incremental", str(data), "--engine", "object"]) == 0
+    assert "incremental[profile_similarity@object]" in capsys.readouterr().out

@@ -1,0 +1,164 @@
+"""Tests for the versioned columnar snapshot format (:mod:`repro.core.snapshot`).
+
+The format is a service interface: the pure-Python writer must emit bytes
+that NumPy's own loader accepts, both readers (``np.load`` memmap and
+``mmap`` + ``memoryview``) must see identical values, and version or
+inventory mismatches must fail loudly instead of misreading state.
+"""
+
+from __future__ import annotations
+
+import json
+from array import array
+
+import pytest
+
+from repro.core.snapshot import (
+    SNAPSHOT_FORMAT_VERSION,
+    SnapshotReader,
+    SnapshotWriter,
+    read_npy,
+    write_npy,
+)
+
+try:
+    import numpy as np
+except ImportError:  # pragma: no cover - exercised by the no-numpy CI job
+    np = None
+
+requires_numpy = pytest.mark.skipif(np is None, reason="requires numpy")
+
+
+def test_npy_round_trip_pure_python(tmp_path):
+    values = array("q", [0, 1, -1, 2**62, -(2**62), 42])
+    path = tmp_path / "col.npy"
+    write_npy(path, [values], len(values))
+    loaded = read_npy(path, use_numpy=False)
+    assert list(loaded) == list(values)
+    # slicing and indexing work on the memoryview reader
+    assert loaded[2] == -1
+    assert list(loaded[1:3]) == [1, -1]
+
+
+def test_npy_streams_multiple_chunks(tmp_path):
+    path = tmp_path / "col.npy"
+    write_npy(path, [array("q", [1, 2]), array("q", []), array("q", [3])], 3)
+    assert list(read_npy(path, use_numpy=False)) == [1, 2, 3]
+
+
+def test_npy_count_mismatch_is_an_error(tmp_path):
+    with pytest.raises(ValueError):
+        write_npy(tmp_path / "col.npy", [array("q", [1, 2])], 3)
+
+
+def test_npy_data_section_is_64_byte_aligned(tmp_path):
+    # alignment is what makes memoryview.cast('q') legal on the mapped file
+    path = tmp_path / "col.npy"
+    write_npy(path, [array("q", [7])], 1)
+    raw = path.read_bytes()
+    header_size = len(raw) - 8  # one int64 of payload
+    assert header_size % 64 == 0
+
+
+@requires_numpy
+def test_numpy_reads_pure_python_bytes(tmp_path):
+    values = array("q", range(-5, 100))
+    path = tmp_path / "col.npy"
+    write_npy(path, [values], len(values))
+    loaded = np.load(str(path))
+    assert loaded.dtype == np.int64
+    assert loaded.ndim == 1
+    assert loaded.tolist() == list(values)
+    # and the memmap reader of this module agrees with the pure one
+    assert list(read_npy(path, use_numpy=True)) == list(read_npy(path, use_numpy=False))
+
+
+@requires_numpy
+def test_pure_python_reads_numpy_bytes(tmp_path):
+    path = tmp_path / "col.npy"
+    np.save(str(path), np.arange(17, dtype=np.int64))
+    assert list(read_npy(path, use_numpy=False)) == list(range(17))
+
+
+def test_snapshot_directory_round_trip(tmp_path):
+    writer = SnapshotWriter(tmp_path / "snap")
+    writer.column("numbers", array("q", [3, 1, 4, 1, 5]))
+    writer.column("empty", array("q"))
+    writer.strings("names", ["alpha", "", "βήτα", "gamma"])
+    writer.meta(kind="unit-test", threshold=0.5)
+    writer.close()
+
+    reader = SnapshotReader(tmp_path / "snap")
+    assert list(reader.column("numbers")) == [3, 1, 4, 1, 5]
+    assert list(reader.column("empty")) == []
+    assert reader.strings("names") == ["alpha", "", "βήτα", "gamma"]
+    assert reader.meta == {"kind": "unit-test", "threshold": 0.5}
+    with pytest.raises(KeyError):
+        reader.column("missing")
+    with pytest.raises(KeyError):
+        reader.strings("numbers")
+
+
+def test_snapshot_rejects_duplicate_columns(tmp_path):
+    writer = SnapshotWriter(tmp_path / "snap")
+    writer.column("col", array("q", [1]))
+    with pytest.raises(ValueError):
+        writer.column("col", array("q", [2]))
+    with pytest.raises(ValueError):
+        writer.strings("col", ["x"])
+
+
+def test_snapshot_requires_manifest(tmp_path):
+    (tmp_path / "snap").mkdir()
+    with pytest.raises(FileNotFoundError):
+        SnapshotReader(tmp_path / "snap")
+
+
+def test_snapshot_rejects_unknown_format_version(tmp_path):
+    writer = SnapshotWriter(tmp_path / "snap")
+    writer.column("col", array("q", [1]))
+    writer.close()
+    manifest_path = tmp_path / "snap" / "manifest.json"
+    manifest = json.loads(manifest_path.read_text())
+    manifest["format_version"] = SNAPSHOT_FORMAT_VERSION + 1
+    manifest_path.write_text(json.dumps(manifest))
+    with pytest.raises(ValueError, match="format version"):
+        SnapshotReader(tmp_path / "snap")
+
+
+def test_snapshot_validates_column_lengths(tmp_path):
+    writer = SnapshotWriter(tmp_path / "snap")
+    writer.column("col", array("q", [1, 2, 3]))
+    writer.close()
+    # truncate the column behind the manifest's back
+    write_npy(tmp_path / "snap" / "col.npy", [array("q", [1, 2])], 2)
+    with pytest.raises(ValueError, match="manifest declares"):
+        SnapshotReader(tmp_path / "snap").column("col")
+
+
+@requires_numpy
+def test_snapshot_bytes_identical_across_numpy_modes(tmp_path):
+    """The writer never uses NumPy, so the on-disk bytes cannot depend on it.
+
+    This pins the cross-environment compatibility story: a snapshot written
+    on a NumPy machine restores bit-identically on a pure-Python one and
+    vice versa.
+    """
+    from repro.datasets import DatasetConfig, generate_dirty_dataset
+    from repro.iterative.index import IncrementalIndex
+    from repro.matching import ProfileSimilarityMatcher
+
+    dataset = generate_dirty_dataset(DatasetConfig(num_entities=15, seed=3))
+    digests = {}
+    for use_numpy in (True, False):
+        index = IncrementalIndex(
+            ProfileSimilarityMatcher(threshold=0.5), use_numpy=use_numpy
+        )
+        for description in dataset.collection:
+            index.add(description)
+        target = tmp_path / f"snap-{use_numpy}"
+        index.save(target)
+        digests[use_numpy] = {
+            entry.name: entry.read_bytes() for entry in sorted(target.iterdir())
+        }
+    assert digests[True] == digests[False]

@@ -273,3 +273,60 @@ class TestClusteringEngineThreading:
         finally:
             MatchDecision.__init__ = original
         assert calls
+
+
+class TestIncrementalWorkflow:
+    """``run_incremental``: arrival-stream resolution with snapshot/restore."""
+
+    def test_stage_labels_and_metrics(self, small_dirty_dataset):
+        result = ERWorkflow(WorkflowConfig()).run_incremental(
+            small_dirty_dataset.collection, small_dirty_dataset.ground_truth
+        )
+        stages = [stage.stage for stage in result.report]
+        assert stages == ["incremental[profile_similarity@array]"]
+        (stage,) = list(result.report)
+        assert stage.get("arrivals") == len(small_dirty_dataset.collection)
+        assert stage.get("comparisons") > 0
+        assert result.clusters
+        assert result.matching_quality is not None
+
+    def test_engines_produce_identical_results(self, small_dirty_dataset):
+        results = {}
+        for engine in ("array", "object"):
+            config = WorkflowConfig(incremental_engine=engine)
+            result = ERWorkflow(config).run_incremental(small_dirty_dataset.collection)
+            (stage,) = list(result.report)
+            assert stage.stage == f"incremental[profile_similarity@{engine}]"
+            results[engine] = (
+                sorted(sorted(c) for c in result.clusters),
+                sorted(result.matches),
+                stage.get("comparisons"),
+            )
+        assert results["array"] == results["object"]
+
+    def test_snapshot_and_restore_stages(self, small_dirty_dataset, tmp_path):
+        descriptions = list(small_dirty_dataset.collection)
+        half = len(descriptions) // 2
+        from repro.datamodel.collection import EntityCollection
+
+        snapshot_dir = tmp_path / "snap"
+        first = ERWorkflow(WorkflowConfig()).run_incremental(
+            EntityCollection(descriptions[:half]), snapshot=snapshot_dir
+        )
+        assert [s.stage for s in first.report] == [
+            "incremental[profile_similarity@array]",
+            "incremental_snapshot",
+        ]
+        second = ERWorkflow(WorkflowConfig()).run_incremental(
+            EntityCollection(descriptions[half:]), restore=snapshot_dir
+        )
+        assert [s.stage for s in second.report] == [
+            "incremental_restore",
+            "incremental[profile_similarity@array]",
+        ]
+        straight = ERWorkflow(WorkflowConfig()).run_incremental(
+            EntityCollection(descriptions)
+        )
+        assert sorted(sorted(c) for c in second.clusters) == sorted(
+            sorted(c) for c in straight.clusters
+        )
