@@ -27,7 +27,7 @@ except ImportError:  # pragma: no cover - Windows has no resource module
 
 import pytest
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_table, write_bench_json
 from repro.blocking import BlockFiltering, BlockPurging, BlockingEngine, TokenBlocking
 from repro.datasets import DatasetConfig, generate_dirty_dataset
 from repro.evaluation import evaluate_blocks
@@ -87,6 +87,11 @@ def test_blocking_scalability(benchmark):
             "the exhaustive space grows quadratically; PC stays at ~1.0 and RR stays high and "
             "stable across sizes."
         ),
+    )
+    write_bench_json(
+        "blocking_scalability",
+        {"workload": "token blocking vs exhaustive comparisons", "rows": rows},
+        section="scalability",
     )
     benchmark.extra_info["rows"] = rows
 
@@ -244,6 +249,15 @@ def test_engine_old_vs_new(benchmark):
             "integers. Speedups: "
             + ", ".join(f"{n} entities: {s:.2f}x" for n, s in speedups.items())
         ),
+    )
+    write_bench_json(
+        "blocking_scalability",
+        {
+            "workload": "oracle vs index engine on build+purge+filter+propagate",
+            "rows": rows,
+            "speedups": {str(n): s for n, s in speedups.items()},
+        },
+        section="engine_comparison",
     )
     benchmark.extra_info["speedups"] = {str(n): round(s, 2) for n, s in speedups.items()}
     # the timed metric measures the engine pipeline alone, not dataset generation

@@ -38,7 +38,7 @@ try:
 except ImportError:  # pragma: no cover - Windows has no resource module
     resource = None
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_table, write_bench_json
 from repro.datamodel.ground_truth import GroundTruth
 from repro.datamodel.pairs import Comparison, DecisionColumns, OrdinalInterner, pair_code
 from repro.evaluation.clusters import (
@@ -324,6 +324,14 @@ def test_engine_old_vs_new(benchmark):
             "cluster measures and progressive curves. Speedups (object/array): "
             + ", ".join(f"{n} entities: {s:.2f}x" for n, s in speedups.items())
         ),
+    )
+    write_bench_json(
+        "clustering",
+        {
+            "workload": "object vs array clustering+evaluation tail",
+            "rows": rows_table,
+            "speedups": {str(n): s for n, s in speedups.items()},
+        },
     )
     benchmark.extra_info["speedups"] = {str(n): round(s, 2) for n, s in speedups.items()}
     # input built outside the timed call: the recorded metric measures the

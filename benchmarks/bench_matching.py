@@ -25,7 +25,7 @@ except ImportError:  # pragma: no cover - Windows has no resource module
 
 import pytest
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_table, write_bench_json
 from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
 from repro.datasets import DatasetConfig, generate_dirty_dataset
 from repro.matching import MatchingEngine, ProfileSimilarityMatcher
@@ -180,6 +180,14 @@ def test_engine_old_vs_new(benchmark):
                 f"{n} entities/{mode}: {s:.2f}x" for (n, mode), s in speedups.items()
             )
         ),
+    )
+    write_bench_json(
+        "matching",
+        {
+            "workload": "pairwise vs batch engine on meta-blocked candidates",
+            "rows": rows,
+            "speedups": {f"{n}/{mode}": s for (n, mode), s in speedups.items()},
+        },
     )
     benchmark.extra_info["speedups"] = {
         f"{n}/{mode}": round(s, 2) for (n, mode), s in speedups.items()

@@ -23,7 +23,7 @@ except ImportError:  # pragma: no cover - Windows has no resource module
 
 import pytest
 
-from benchmarks.conftest import save_table
+from benchmarks.conftest import save_table, write_bench_json
 from repro.blocking import BlockFiltering, BlockPurging, TokenBlocking
 from repro.datasets import DatasetConfig, generate_dirty_dataset
 from repro.evaluation import evaluate_blocks, evaluate_comparisons
@@ -96,6 +96,11 @@ def test_metablocking_grid(benchmark, dirty_dataset, cleaned_blocks):
             "matches; node-centric pruning (WNP/CNP) preserves more PC than edge-centric pruning "
             "(WEP/CEP); reciprocal pruning trades PC for PQ."
         ),
+    )
+    write_bench_json(
+        "metablocking",
+        {"workload": "weighting x pruning grid on cleaned token blocks", "rows": rows},
+        section="grid",
     )
     benchmark.extra_info["rows"] = rows
 
@@ -273,6 +278,15 @@ def test_engine_old_vs_new(benchmark):
             f"instead of materialising the edge objects. Speedups: "
             + ", ".join(f"{n} entities: {s:.2f}x" for n, s in speedups.items())
         ),
+    )
+    write_bench_json(
+        "metablocking",
+        {
+            "workload": "graph vs index engine (CBS+WNP) on cleaned token blocks",
+            "rows": rows,
+            "speedups": {str(n): s for n, s in speedups.items()},
+        },
+        section="engine_comparison",
     )
     benchmark.extra_info["speedups"] = {str(n): round(s, 2) for n, s in speedups.items()}
     # blocks built outside the timed call: the recorded metric measures the

@@ -9,8 +9,10 @@ so the numbers quoted in EXPERIMENTS.md can be re-derived with a single
 
 from __future__ import annotations
 
+import json
+import os
 from pathlib import Path
-from typing import Mapping, Sequence
+from typing import Mapping, Optional, Sequence
 
 import pytest
 
@@ -40,6 +42,41 @@ def save_table(
     (RESULTS_DIR / f"{experiment}.txt").write_text(table + "\n", encoding="utf-8")
     print("\n" + table)
     return table
+
+
+def write_bench_json(
+    area: str,
+    payload: Mapping[str, object],
+    section: Optional[str] = None,
+) -> Path:
+    """Persist machine-readable benchmark results as ``BENCH_<area>.json``.
+
+    The JSON files are the perf-trajectory record: CI archives every one as
+    an artifact and diffs it against the committed baseline (see
+    ``benchmarks/diff_bench.py``).  ``payload`` is written with stable
+    formatting (``indent=2, sort_keys=True``) and stamped with the experiment
+    name and the quick-mode flag; when ``section`` is given the payload is
+    merged into the file under ``sections[section]`` instead of replacing it,
+    so several tests of one module can contribute to one area file.
+    """
+    RESULTS_DIR.mkdir(parents=True, exist_ok=True)
+    path = RESULTS_DIR / f"BENCH_{area}.json"
+    if section is None:
+        data = dict(payload)
+    else:
+        data = {}
+        if path.exists():
+            try:
+                data = json.loads(path.read_text(encoding="utf-8"))
+            except ValueError:
+                data = {}
+        data.setdefault("sections", {})[section] = dict(payload)
+    data["experiment"] = f"BENCH_{area}"
+    data["quick"] = os.environ.get("REPRO_BENCH_QUICK") == "1"
+    path.write_text(
+        json.dumps(data, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return path
 
 
 @pytest.fixture(scope="session")

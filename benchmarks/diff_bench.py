@@ -1,0 +1,199 @@
+"""Diff freshly generated ``BENCH_<area>.json`` files against committed baselines.
+
+Every benchmark module persists its machine-readable results through
+``benchmarks.conftest.write_bench_json``; the committed files under
+``benchmarks/results/`` are the perf-trajectory baselines future runs are
+judged against.  This script compares the working-tree files with the
+versions at a git ref (default ``HEAD``) and fails -- exit code 1 -- when
+any wall-time row regressed by more than the threshold (default 30%).
+
+Rows are matched by identity, not position: a row contributes a key made of
+its non-timing fields (``entities``, ``engine``, ``stage``, ``workers``,
+...), so a quick-mode run (``REPRO_BENCH_QUICK=1``), which only covers a
+subset of the scale points, is automatically compared against exactly the
+matching rows of a full-mode baseline and nothing else.
+
+Machines differ: a CI runner is not the workstation that produced the
+baseline.  With enough matched rows the comparison therefore normalises by
+the *median* wall-time ratio across all rows -- a uniformly slower (or
+faster) machine shifts every ratio equally and flags nothing, while a
+single stage that regressed relative to the rest stands out.  A row only
+fails when its ratio exceeds both the normalised bound and the raw
+threshold, and timings under the noise floor (50 ms) are ignored entirely.
+
+Usage::
+
+    python benchmarks/diff_bench.py [--baseline-ref HEAD]
+                                    [--threshold 0.30] [--min-seconds 0.05]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import subprocess
+import sys
+from pathlib import Path
+from typing import Dict, Iterator, List, Optional, Tuple
+
+RESULTS_DIR = Path(__file__).parent / "results"
+#: Fields that carry measurements rather than row identity.
+_TIMING_FIELDS = frozenset(
+    {
+        "seconds",
+        "build seconds",
+        "peak alloc MB",
+        "peak RSS MB",
+        "peak_alloc_bytes",
+        "identical",
+    }
+)
+
+
+def _baseline_text(ref: str, path: Path) -> Optional[str]:
+    """The committed content of ``path`` at ``ref``, or ``None`` if absent."""
+    repo_root = Path(__file__).parent.parent
+    relative = path.relative_to(repo_root).as_posix()
+    proc = subprocess.run(
+        ["git", "show", f"{ref}:{relative}"],
+        cwd=repo_root,
+        capture_output=True,
+        text=True,
+    )
+    return proc.stdout if proc.returncode == 0 else None
+
+
+def _is_timing_field(key: str) -> bool:
+    """Whether ``key`` holds a wall-time measurement (``seconds``,
+    ``build seconds``, ``insert_seconds``, ``snapshot_save_seconds``, ...)."""
+    return key == "seconds" or key.endswith(" seconds") or key.endswith("_seconds")
+
+
+def _row_key(path: str, row: dict) -> Tuple:
+    """Identity of one timed row: its JSON path plus its non-timing fields."""
+    identity = tuple(
+        sorted(
+            (key, value)
+            for key, value in row.items()
+            if key not in _TIMING_FIELDS
+            and not _is_timing_field(key)
+            and isinstance(value, (str, int, bool))
+        )
+    )
+    return (path, identity)
+
+
+def _walk_seconds(node, path: str = "") -> Iterator[Tuple[Tuple, float]]:
+    """Yield ``(row key, wall seconds)`` for every timed row in the payload."""
+    if isinstance(node, dict):
+        for field, value in node.items():
+            if (
+                _is_timing_field(field)
+                and isinstance(value, (int, float))
+                and not isinstance(value, bool)
+            ):
+                yield _row_key(f"{path}.{field}", node), float(value)
+        for key, value in node.items():
+            if isinstance(value, (dict, list)):
+                yield from _walk_seconds(value, f"{path}.{key}")
+    elif isinstance(node, list):
+        for item in node:
+            yield from _walk_seconds(item, path)
+
+
+def _collect(payload: dict) -> Dict[Tuple, float]:
+    collected: Dict[Tuple, float] = {}
+    for key, seconds in _walk_seconds(payload):
+        # duplicate identities (identically-keyed rows) compare on their sum
+        collected[key] = collected.get(key, 0.0) + seconds
+    return collected
+
+
+def _median(values: List[float]) -> float:
+    ordered = sorted(values)
+    middle = len(ordered) // 2
+    if len(ordered) % 2:
+        return ordered[middle]
+    return (ordered[middle - 1] + ordered[middle]) / 2.0
+
+
+def diff_file(
+    path: Path, ref: str, threshold: float, min_seconds: float
+) -> Tuple[List[str], str]:
+    """(regressions, status line) of one ``BENCH_<area>.json`` file."""
+    baseline_text = _baseline_text(ref, path)
+    if baseline_text is None:
+        return [], f"{path.name}: no committed baseline at {ref}, skipped"
+    try:
+        baseline = _collect(json.loads(baseline_text))
+        current = _collect(json.loads(path.read_text(encoding="utf-8")))
+    except ValueError as error:
+        return [], f"{path.name}: unparseable ({error}), skipped"
+
+    matched = [
+        (key, baseline[key], current[key])
+        for key in sorted(baseline.keys() & current.keys(), key=repr)
+        if baseline[key] >= min_seconds and current[key] >= min_seconds
+    ]
+    if not matched:
+        return [], f"{path.name}: no comparable timed rows, skipped"
+
+    ratios = [cur / base for _, base, cur in matched]
+    # normalise by the median ratio when there is enough signal for one;
+    # a uniformly slower machine then flags nothing
+    pivot = _median(ratios) if len(ratios) >= 3 else 1.0
+    bound = max(pivot, 1.0) * (1.0 + threshold)
+    regressions = []
+    for (row_path, identity), base, cur in matched:
+        ratio = cur / base
+        if ratio > bound and ratio > 1.0 + threshold:
+            label = ", ".join(f"{k}={v}" for k, v in identity) or row_path
+            regressions.append(
+                f"{path.name}: {label}: {base:.3f}s -> {cur:.3f}s "
+                f"({ratio:.2f}x, bound {bound:.2f}x)"
+            )
+    status = (
+        f"{path.name}: {len(matched)} timed rows compared, "
+        f"median ratio {pivot:.2f}x, {len(regressions)} regression(s)"
+    )
+    return regressions, status
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--baseline-ref", default="HEAD")
+    parser.add_argument("--threshold", type=float, default=0.30)
+    parser.add_argument("--min-seconds", type=float, default=0.05)
+    parser.add_argument(
+        "--results-dir", type=Path, default=RESULTS_DIR,
+        help="directory holding the freshly generated BENCH_*.json files",
+    )
+    args = parser.parse_args(argv)
+
+    files = sorted(args.results_dir.glob("BENCH_*.json"))
+    if not files:
+        print(f"no BENCH_*.json files under {args.results_dir}", file=sys.stderr)
+        return 0
+
+    all_regressions: List[str] = []
+    for path in files:
+        regressions, status = diff_file(
+            path, args.baseline_ref, args.threshold, args.min_seconds
+        )
+        print(status)
+        all_regressions.extend(regressions)
+
+    if all_regressions:
+        print(
+            f"\nFAIL: {len(all_regressions)} wall-time regression(s) beyond "
+            f"{args.threshold:.0%} vs {args.baseline_ref}:"
+        )
+        for line in all_regressions:
+            print(f"  {line}")
+        return 1
+    print(f"\nOK: no wall-time regressions beyond {args.threshold:.0%}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -378,12 +378,22 @@ class _BlockIndex:
 # ----------------------------------------------------------------------
 # index cleaning passes
 # ----------------------------------------------------------------------
-def _index_purge(blocks: BlockCollection, purging: BlockPurging) -> BlockCollection:
-    """Streaming purging pass: one cardinality column, one selection sweep."""
+def _index_purge(
+    blocks: BlockCollection, purging: BlockPurging, parallel=None
+) -> BlockCollection:
+    """Streaming purging pass: one cardinality column, one selection sweep.
+
+    With a :class:`~repro.mapreduce.parallel.ParallelEngine` the cardinality
+    column is computed by the pool over contiguous block ranges; threshold
+    selection stays on the driver and the output is bit-identical.
+    """
     purged = BlockCollection(name=f"{blocks.name}/purged")
     if len(blocks) == 0:
         return purged
-    cards = array("q", (block.num_comparisons() for block in blocks))
+    if parallel is not None:
+        cards = parallel.block_cardinalities(blocks)
+    else:
+        cards = array("q", (block.num_comparisons() for block in blocks))
     if purging.max_comparisons is not None:
         threshold = purging.max_comparisons
     else:
@@ -395,7 +405,7 @@ def _index_purge(blocks: BlockCollection, purging: BlockPurging) -> BlockCollect
 
 
 def _index_filter(
-    blocks: BlockCollection, filtering: BlockFiltering, use_numpy: bool
+    blocks: BlockCollection, filtering: BlockFiltering, use_numpy: bool, parallel=None
 ) -> BlockCollection:
     """Streaming filtering pass over the CSR assignment arrays.
 
@@ -411,9 +421,15 @@ def _index_filter(
         return filtered
     index = _BlockIndex(blocks)
     ratio = filtering.ratio
-    keep_flags = bytearray(index.num_assignments)
 
-    if use_numpy and _np is not None and index.num_assignments:
+    if parallel is not None and index.num_assignments:
+        # per-entity keep sets are independent, so pooled ranged passes over
+        # the shared assignment columns reproduce the flags bit-identically
+        keep_flags = parallel.filter_keep_flags(
+            index.ent_of, index.card_of, index.num_entities, ratio, use_numpy
+        )
+    elif use_numpy and _np is not None and index.num_assignments:
+        keep_flags = bytearray(index.num_assignments)
         np = _np
         ent_of = np.frombuffer(index.ent_of, dtype=np.int64)
         card_of = np.frombuffer(index.card_of, dtype=np.int64)
@@ -426,6 +442,7 @@ def _index_filter(
         for position in order[rank < keep_counts[ent_sorted]].tolist():
             keep_flags[position] = 1
     else:
+        keep_flags = bytearray(index.num_assignments)
         per_entity: List[List[int]] = [[] for _ in range(index.num_entities)]
         for position, o in enumerate(index.ent_of):
             per_entity[o].append(position)
@@ -456,7 +473,9 @@ def _index_filter(
     return filtered
 
 
-def _index_propagate(blocks: BlockCollection, use_numpy: bool) -> BlockCollection:
+def _index_propagate(
+    blocks: BlockCollection, use_numpy: bool, parallel=None
+) -> BlockCollection:
     """Streaming comparison propagation: integer-coded pair deduplication.
 
     Pairs are deduplicated as single integers ``(min << 32) | max`` over
@@ -475,6 +494,10 @@ def _index_propagate(blocks: BlockCollection, use_numpy: bool) -> BlockCollectio
     collections beyond that (which would not fit in memory anyway) take the
     arbitrary-precision pure-Python path automatically.
     """
+    if parallel is not None and len(blocks):
+        # ranged worker passes with driver-side first-occurrence resolution;
+        # emission order, keys and orientation match the sequential pass
+        return parallel.propagate_pairs(blocks)
     if use_numpy and _np is not None:
         # total member count bounds the number of distinct ordinals cheaply
         if sum(len(block) for block in blocks) < (1 << 31):
@@ -796,21 +819,25 @@ class BlockingEngine:
         if purging is not None:
             ran = True
             if self.engine == "index" and type(purging) is BlockPurging:
-                result = _index_purge(result, purging)
+                result = _index_purge(result, purging, parallel=self.parallel)
             else:
                 oracle_used = True
                 result = purging.process(result)
         if filtering is not None:
             ran = True
             if self.engine == "index" and type(filtering) is BlockFiltering:
-                result = _index_filter(result, filtering, self._use_numpy)
+                result = _index_filter(
+                    result, filtering, self._use_numpy, parallel=self.parallel
+                )
             else:
                 oracle_used = True
                 result = filtering.process(result)
         if propagate:
             ran = True
             if self.engine == "index":
-                result = _index_propagate(result, self._use_numpy)
+                result = _index_propagate(
+                    result, self._use_numpy, parallel=self.parallel
+                )
             else:
                 oracle_used = True
                 result = ComparisonPropagation().process(result)

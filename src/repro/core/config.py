@@ -104,9 +104,18 @@ class WorkflowConfig:
         (:class:`~repro.mapreduce.parallel.ParallelEngine`).  The default
         ``1`` runs everything in-process; with ``num_workers > 1`` (and the
         shared context enabled, whose columns the workers read through
-        shared memory) the blocking postings pass, the meta-blocking weight
-        streams and the batched matching scores are computed by worker
-        processes.  Results are bit-identical to the single-process run.
+        shared memory) one engine is opened for the whole run and every
+        parallelisable stage fans out to the pool: the sharded context
+        interning, the blocking postings pass, the block-cleaning passes
+        (purging cardinalities, filtering keep flags, comparison
+        propagation), the meta-blocking weight streams and retained-edge
+        emission, the weight sort of the comparison columns, the batched
+        matching scores, and the connected-components clustering.  Stages
+        the workers cannot reproduce (custom subclasses, foreign
+        collections, the greedy center clusterings) silently run
+        in-process.  Results -- blocks, retained edges, match decisions,
+        clusters, tie orders -- are bit-identical to the single-process run
+        at every worker count.
     """
 
     blocking: str = "token"

@@ -163,16 +163,24 @@ class PipelineContext:
         """Whether this context was built for exactly ``data`` (identity)."""
         return data is self.data
 
-    def _intern_all(self) -> None:
-        if self._interned:
-            return
-        self._interned = True
+    def _collect_descriptions(self) -> List[EntityDescription]:
+        """The descriptions in interning order (left before right), side-effect:
+        records ``left_count`` for clean--clean tasks.  Does **not** mark the
+        context interned -- both the serial pass and the sharded parallel
+        build start from this exact list."""
         data = self.data
         if isinstance(data, CleanCleanTask):
             descriptions = list(data.left) + list(data.right)
             self.left_count = len(data.left)
         else:
             descriptions = list(data)
+        return descriptions
+
+    def _intern_all(self) -> None:
+        if self._interned:
+            return
+        self._interned = True
+        descriptions = self._collect_descriptions()
         token_ids = self._token_ids
         tokens = self._tokens
         for description in descriptions:
@@ -203,6 +211,67 @@ class PipelineContext:
             self._attr_counts.append(tuple(count_columns))
             self._merged.append(None)
             self._streams.append(stream)
+
+    def _intern_shards(
+        self,
+        descriptions: List[EntityDescription],
+        shards: Iterable[Tuple[List[str], list]],
+    ) -> None:
+        """Merge worker-built interning shards into this (empty) context.
+
+        Each shard covers a contiguous slice of ``descriptions`` (shards in
+        slice order) and carries a *local* vocabulary -- token strings in the
+        shard's first-occurrence order -- plus, per description, the
+        attribute names and the per-attribute local-id/count columns and the
+        local-id stream, exactly as :meth:`_intern_all` would have built them
+        with a fresh vocabulary.
+
+        The merge reassigns global ids by walking the shard vocabularies in
+        shard order and get-or-assigning each token: a token's global id is
+        therefore assigned at its global first occurrence, which reproduces
+        the serial vocabulary order byte for byte.  Per-attribute columns are
+        remapped and re-sorted by global id (the serial columns are sorted by
+        id), and streams are remapped elementwise (order preserved).
+        """
+        if self._interned:
+            raise RuntimeError("context is already interned")
+        self._interned = True
+        token_ids = self._token_ids
+        tokens = self._tokens
+        position = 0
+        for local_tokens, entries in shards:
+            remap = array("q", bytes(8 * len(local_tokens)))
+            for local_id, token in enumerate(local_tokens):
+                token_id = token_ids.get(token)
+                if token_id is None:
+                    token_id = len(tokens)
+                    token_ids[token] = token_id
+                    tokens.append(token)
+                remap[local_id] = token_id
+            for names, id_columns, count_columns, stream in entries:
+                description = descriptions[position]
+                position += 1
+                self._ordinal[description.identifier] = len(self._ids)
+                self._ids.append(description.identifier)
+                self._descriptions.append(description)
+                global_ids: List[array] = []
+                global_counts: List[array] = []
+                for ids_local, counts_local in zip(id_columns, count_columns):
+                    items = sorted(
+                        zip((remap[t] for t in ids_local), counts_local)
+                    )
+                    global_ids.append(array("q", (t for t, _ in items)))
+                    global_counts.append(array("q", (c for _, c in items)))
+                self._attr_names.append(names)
+                self._attr_ids.append(tuple(global_ids))
+                self._attr_counts.append(tuple(global_counts))
+                self._merged.append(None)
+                self._streams.append(array("q", (remap[t] for t in stream)))
+        if position != len(descriptions):
+            raise RuntimeError(
+                f"interning shards cover {position} descriptions, "
+                f"expected {len(descriptions)}"
+            )
 
     @property
     def num_descriptions(self) -> int:

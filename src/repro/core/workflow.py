@@ -326,6 +326,15 @@ class ERWorkflow:
         # shared columnar context: the collection is interned exactly once
         # and every phase derives its token view from the shared columns
         context = PipelineContext(data) if config.shared_context else None
+        if parallel is not None and context is not None:
+            start = time.perf_counter()
+            if parallel.intern_context(context):
+                report.add_stage(
+                    "interning@parallel",
+                    descriptions=context.num_descriptions,
+                    tokens=context.vocabulary_size,
+                    seconds=time.perf_counter() - start,
+                )
 
         # ---------------- blocking ----------------
         start = time.perf_counter()
@@ -454,7 +463,9 @@ class ERWorkflow:
         # ---------------- clustering ----------------
         start = time.perf_counter()
         clustering = self._make_clustering()
-        cluster_engine = ClusteringEngine(clustering, engine=config.clustering_engine)
+        cluster_engine = ClusteringEngine(
+            clustering, engine=config.clustering_engine, parallel=parallel
+        )
         # the declared matches become positive decision columns directly; on
         # the array engine they are clustered as flat ordinals, and only a
         # custom algorithm (object fallback) materialises decision objects

@@ -19,7 +19,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from repro.datamodel.collection import CleanCleanTask, EntityCollection
 from repro.datamodel.description import EntityDescription
@@ -201,6 +201,60 @@ def generate_dirty_dataset(config: Optional[DatasetConfig] = None) -> GeneratedD
     rng.shuffle(descriptions)
     collection = EntityCollection(descriptions, name=f"dirty-{config.domain}")
     return GeneratedDataset(collection=collection, task=None, ground_truth=ground_truth, config=config)
+
+
+def iter_descriptions(config: Optional[DatasetConfig] = None) -> Iterator[EntityDescription]:
+    """Stream the dirty workload's descriptions one at a time, O(1) memory.
+
+    Yields exactly the descriptions of ``generate_dirty_dataset(config)`` --
+    the identical identifiers, attribute values and corruption draws -- but
+    without ever holding the universe (or the output) in memory, so scaling
+    benchmarks can feed 100k--1M entities through the pipeline.
+
+    The materialised path consumes one master RNG in two phases: first the
+    whole universe of clean entities, then one duplicate-count draw per
+    entity.  Streaming interleaves the two, so two same-seeded RNGs replay
+    the master stream: one generates each clean entity on the fly, the other
+    is fast-forwarded past the entire universe (an O(1)-memory replay whose
+    results are discarded) and then serves the duplicate counts.  The
+    corruption models are seeded exactly as in the materialised path and are
+    called in the same order, so every noisy value is bit-identical.
+
+    The only difference is order: the materialised path shuffles its output
+    list at the end (one draw *after* all duplicate counts, so omitting it
+    cannot shift any other draw), while the stream yields in generation
+    order.  The two sequences are permutations of the same descriptions.
+    """
+    config = config or DatasetConfig()
+    if config.domain not in _DOMAIN_FACTORIES:
+        raise ValueError(
+            f"unknown domain {config.domain!r}; expected one of {sorted(_DOMAIN_FACTORIES)}"
+        )
+    factory = _DOMAIN_FACTORIES[config.domain]
+    corruption = CorruptionModel(config.noise, seed=config.seed + 1)
+    light_corruption = CorruptionModel(config.noise.scaled(0.3), seed=config.seed + 2)
+
+    # fast-forward a replica of the master RNG past the universe phase: the
+    # factory draws are re-made (and discarded) so the replica's stream
+    # position matches the materialised path's when the count draws begin
+    count_rng = random.Random(config.seed)
+    for index in range(config.num_entities):
+        factory(count_rng, index)
+
+    universe_rng = random.Random(config.seed)
+    max_duplicates = max(0, int(round(2 * config.duplicates_per_entity)))
+    for index in range(config.num_entities):
+        clean = EntityDescription(
+            f"universe:{config.domain}/{index}",
+            factory(universe_rng, index),
+            source="universe",
+        )
+        original_id = f"kb:{config.domain}/{index}-0"
+        yield light_corruption.corrupt_description(clean, original_id, source="kb")
+        num_duplicates = count_rng.randint(0, max_duplicates) if max_duplicates else 0
+        for copy_index in range(1, num_duplicates + 1):
+            duplicate_id = f"kb:{config.domain}/{index}-{copy_index}"
+            yield corruption.corrupt_description(clean, duplicate_id, source="kb")
 
 
 # ----------------------------------------------------------------------

@@ -12,9 +12,15 @@ actual wall-clock speedup on multi-core machines:
   of the shared :class:`~repro.core.context.PipelineContext` and of the
   meta-blocking CSR index by contiguous entity-ordinal ranges
   (:func:`~repro.mapreduce.balancing.contiguous_partitions` balances the
-  ranges by per-entity cost) and runs the blocking postings pass, the
-  meta-blocking node-weight streams and the batched matching scores in
-  ``multiprocessing`` workers;
+  ranges by per-entity cost) and runs every parallelisable workflow stage
+  in ``multiprocessing`` workers: the sharded context interning (local
+  vocabularies merged in range order), the blocking postings pass, the
+  block-cleaning passes (purging cardinalities, filtering keep flags,
+  comparison propagation), the meta-blocking node-weight streams and
+  per-node retained-edge emission for all pruning schemes, the weight sort
+  of the comparison columns (per-shard argsort + driver k-way merge), the
+  batched matching scores, and the connected-components clustering
+  (per-shard union--find merged in first-touch order);
 * the columns cross the process boundary through
   :class:`~repro.mapreduce.shm.ColumnSegment` shared memory -- workers
   attach zero-copy and only the small per-partition result columns are

@@ -29,11 +29,14 @@ fanned-out weight round in full while the pruning pass consumes it.
 
 from __future__ import annotations
 
+import heapq
+import math
 import multiprocessing
 from array import array
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from repro.datamodel.pairs import identifier_ranks
+from repro.core.unionfind import IntUnionFind
+from repro.datamodel.pairs import ComparisonColumns, canonical_pair, identifier_ranks
 from repro.mapreduce import worker
 from repro.mapreduce.balancing import contiguous_partitions
 from repro.mapreduce.shm import ColumnSegment, SegmentSpec
@@ -113,7 +116,15 @@ class ParallelEngine:
                 else multiprocessing.get_context()
             )
             # only spawned workers run their own resource tracker; forked
-            # (and forkserver) workers share the driver's -- see shm.py
+            # (and forkserver) workers share the driver's -- see shm.py.
+            # The driver's tracker must exist BEFORE the fork: otherwise a
+            # forked worker's first attach starts a private tracker that,
+            # when the worker exits, unlinks every segment it ever saw out
+            # from under the driver and its remaining workers.
+            if context.get_start_method() != "spawn":
+                from multiprocessing import resource_tracker
+
+                resource_tracker.ensure_running()
             self._pool = context.Pool(
                 processes=self.num_workers,
                 initializer=worker.configure,
@@ -216,6 +227,45 @@ class ParallelEngine:
         return segment.spec
 
     # ------------------------------------------------------------------
+    # context interning
+    # ------------------------------------------------------------------
+    def intern_context(self, context) -> bool:
+        """Build ``context``'s interned columns with the pool (sharded interning).
+
+        Workers tokenise contiguous description ranges into local
+        vocabularies; the driver merges the shard vocabularies in range order
+        (get-or-assign reproduces the serial first-occurrence id order) and
+        remaps the per-attribute columns and streams, so ordinals, vocabulary
+        order and every column are byte-identical to the serial
+        ``_intern_all`` pass.  Returns ``False`` -- leaving the context to
+        intern itself serially -- when there is nothing to shard (an already
+        interned or near-empty context).
+        """
+        if context is None or context._interned:
+            return False
+        descriptions = context._collect_descriptions()
+        if len(descriptions) < 2:
+            return False
+        payloads = []
+        costs = []
+        for description in descriptions:
+            attributes = tuple(
+                (attribute, description.values(attribute))
+                for attribute in description.attribute_names
+            )
+            payloads.append(attributes)
+            costs.append(
+                1 + sum(len(value) for _, values in attributes for value in values)
+            )
+        tasks = [
+            (payloads[start:stop],)
+            for start, stop in contiguous_partitions(costs, self.num_workers)
+        ]
+        shards = self._run(worker.intern_descriptions_job, tasks)
+        context._intern_shards(descriptions, shards)
+        return True
+
+    # ------------------------------------------------------------------
     # blocking
     # ------------------------------------------------------------------
     def token_postings(self, builder, context) -> Dict[int, array]:
@@ -245,6 +295,144 @@ class ParallelEngine:
                 posting.extend(flat[position : position + count])
                 position += count
         return postings
+
+    # ------------------------------------------------------------------
+    # block cleaning
+    # ------------------------------------------------------------------
+    def block_cardinalities(self, blocks) -> array:
+        """Cardinality column of ``blocks`` (block purging), built by the pool.
+
+        The driver ships only per-block ``(size, split)`` pairs; workers
+        compute their range's ``Block.num_comparisons`` integers and the
+        range-order concatenation equals the sequential column exactly.
+        """
+        lens = array("q")
+        splits = array("q")
+        for block in blocks:
+            if block.is_bilateral:
+                left = len(block.left_members)
+                lens.append(left + len(block.right_members))
+                splits.append(left)
+            else:
+                lens.append(len(block.members))
+                splits.append(-1)
+        segment = self._segment({"blk_len": ("q", lens), "blk_split": ("q", splits)})
+        tasks = [
+            (segment.spec, start, stop)
+            for start, stop in contiguous_partitions([1] * len(lens), self.num_workers)
+        ]
+        cards = array("q")
+        for chunk in self._run(worker.block_cardinalities_job, tasks):
+            cards.extend(chunk)
+        return cards
+
+    def filter_keep_flags(self, ent_of, card_of, num_entities, ratio, use_numpy) -> bytearray:
+        """Keep flags over the assignment positions (block filtering).
+
+        Entities are sharded into contiguous ordinal ranges balanced by
+        degree; each worker ranks its entities' assignments with the same
+        stable (cardinality, block index) sort the sequential pass runs, and
+        since per-entity decisions are independent the OR of the ranges'
+        keep sets is bit-identical to the sequential flags.
+        """
+        keep_flags = bytearray(len(ent_of))
+        segment = self._segment({"ent_of": ("q", ent_of), "card_of": ("q", card_of)})
+        degrees = [0] * num_entities
+        for o in ent_of:
+            degrees[o] += 1
+        costs = [degree + 1 for degree in degrees]
+        tasks = [
+            (segment.spec, ratio, start, stop, use_numpy)
+            for start, stop in contiguous_partitions(costs, self.num_workers)
+        ]
+        for chunk in self._run(worker.filter_keep_job, tasks):
+            for position in chunk:
+                keep_flags[position] = 1
+        return keep_flags
+
+    def propagate_pairs(self, blocks) -> "object":
+        """Comparison propagation of ``blocks``, fanned out over block ranges.
+
+        The driver interns members block-major (the sequential intern order),
+        ships the CSR layout plus identifier ranks, and workers stream their
+        range's comparisons as dedup codes with canonical endpoints and a
+        bilateral orientation flag, deduplicated locally.  The driver then
+        resolves global first occurrences through one seen-set walked in
+        range order -- reproducing the sequential pass's emission sequence,
+        key strings and left/right orientation -- and re-raises the oracle's
+        self-pair error at the exact comparison the sequential pass would.
+        """
+        from repro.blocking.base import Block, BlockCollection
+
+        ordinal: Dict[str, int] = {}
+        intern = ordinal.setdefault
+        ent_of = array("q")
+        blk_ptr = array("q", [0])
+        blk_split = array("q")
+        costs = []
+        for block in blocks:
+            if block.is_bilateral:
+                left = block.left_members
+                right = block.right_members
+                for member in left:
+                    ent_of.append(intern(member, len(ordinal)))
+                for member in right:
+                    ent_of.append(intern(member, len(ordinal)))
+                blk_split.append(len(left))
+                costs.append(1 + len(left) * len(right))
+            else:
+                members = block.members
+                for member in members:
+                    ent_of.append(intern(member, len(ordinal)))
+                blk_split.append(-1)
+                size = len(members)
+                costs.append(1 + size * (size - 1) // 2)
+            blk_ptr.append(len(ent_of))
+        ids = list(ordinal)
+        rank_column = array("q")
+        _extend_int64(rank_column, identifier_ranks(ids))
+        segment = self._segment(
+            {
+                "blk_ptr": ("q", blk_ptr),
+                "blk_split": ("q", blk_split),
+                "ent_of": ("q", ent_of),
+                "ranks": ("q", rank_column),
+            }
+        )
+        tasks = [
+            (segment.spec, start, stop)
+            for start, stop in contiguous_partitions(costs, self.num_workers)
+        ]
+        deduplicated = BlockCollection(name=f"{blocks.name}/propagated")
+        seen = set()
+        seen_add = seen.add
+        out = []
+        append = out.append
+        pair = Block.pair
+        bilateral_pair = Block.bilateral_pair
+        for codes, firsts, seconds, flags, error in self._run(
+            worker.propagate_pairs_job, tasks
+        ):
+            for code, f, s, orientation in zip(codes, firsts, seconds, flags):
+                if code in seen:
+                    continue
+                seen_add(code)
+                first = ids[f]
+                second = ids[s]
+                if orientation == 0:
+                    append(pair(f"pair:{first}|{second}", first, second))
+                elif orientation == 1:
+                    append(bilateral_pair(f"pair:{first}|{second}", first, second))
+                else:
+                    append(bilateral_pair(f"pair:{first}|{second}", second, first))
+            if error is not None:
+                block_index, left_pos, right_pos = error
+                block = blocks[block_index]
+                canonical_pair(
+                    block.left_members[left_pos], block.right_members[right_pos]
+                )
+        deduplicated._extend_trusted(out)
+        return deduplicated
 
     # ------------------------------------------------------------------
     # meta-blocking
@@ -279,6 +467,148 @@ class ParallelEngine:
 
         index_engine.node_weights_source = source
         return True
+
+    def retained_edges(self, index_engine, scheme: str, pruning: str, budget=None, k=None):
+        """Run ``pruning`` under ``scheme`` with pooled retained-edge emission.
+
+        Unlike :meth:`install_node_weights` -- which ships every edge weight
+        back to the driver for it to prune -- the per-node threshold/top-k
+        selection itself runs in the workers over contiguous node ranges, so
+        only *retained* edges (plus O(nodes) threshold columns and O(budget)
+        candidate buffers) ever cross the process boundary.  Driver-side
+        concatenation in range order reproduces the sequential emission
+        order, tie-breaks included; the run statistics are installed on
+        ``index_engine`` exactly as a sequential pass would.  Returns the
+        retained :class:`WeightedEdge` list, or ``None`` for an empty index
+        (the caller falls back to the sequential path).
+        """
+        if index_engine.num_entities == 0:
+            return None
+        if pruning == "CEP" and budget is not None and budget < 0:
+            raise ValueError(f"CEP budget must be non-negative, got {budget}")
+        entry = self._index_entry(index_engine)
+        factors_spec = self._factors_spec(index_engine, entry, scheme)
+        use_numpy = index_engine._use_numpy
+        edge = index_engine._edge
+        parts = entry["parts"]
+
+        if pruning == "WEP":
+            tasks = [
+                (entry["spec"], factors_spec, scheme, start, stop, use_numpy)
+                for start, stop in parts
+            ]
+            count = 0
+            partials: List[float] = []
+            for shard_count, shard_partials in self._run(worker.wep_stats_job, tasks):
+                count += shard_count
+                partials.extend(shard_partials)
+            if count == 0:
+                index_engine._finish(0, 0)
+                return []
+            # the shards' exact-sum expansions concatenate into one stream
+            # whose fsum equals the sequential full-stream fsum exactly
+            threshold = math.fsum(partials) / count
+            tasks = [
+                (entry["spec"], factors_spec, scheme, threshold, start, stop, use_numpy)
+                for start, stop in parts
+            ]
+            retained = []
+            for firsts, seconds, weights in self._run(worker.wep_emit_job, tasks):
+                for i, j, weight in zip(firsts, seconds, weights):
+                    retained.append(edge(i, j, weight))
+            index_engine._finish(count, len(retained))
+            return retained
+
+        if pruning in ("WNP", "ReciprocalWNP"):
+            reciprocal = pruning == "ReciprocalWNP"
+            num_entities = index_engine.num_entities
+            thresholds = array("d", bytes(8 * num_entities))
+            total = 0
+            tasks = [
+                (entry["spec"], factors_spec, scheme, start, stop, use_numpy)
+                for start, stop in parts
+            ]
+            for (start, stop), (counts, sums, shard_total) in zip(
+                parts, self._run(worker.wnp_stats_job, tasks)
+            ):
+                total += shard_total
+                for offset, degree in enumerate(counts):
+                    if degree:
+                        thresholds[start + offset] = sums[offset] / degree
+            num_edges = total // 2
+            if num_edges == 0:
+                index_engine._finish(0, 0)
+                return []
+            thresholds_spec = self._segment({"thresholds": ("d", thresholds)}).spec
+            tasks = [
+                (
+                    entry["spec"],
+                    factors_spec,
+                    scheme,
+                    thresholds_spec,
+                    reciprocal,
+                    start,
+                    stop,
+                    use_numpy,
+                )
+                for start, stop in parts
+            ]
+            retained = []
+            for firsts, seconds, weights in self._run(worker.wnp_emit_job, tasks):
+                for i, j, weight in zip(firsts, seconds, weights):
+                    retained.append(edge(i, j, weight))
+            index_engine._finish(num_edges, len(retained))
+            return retained
+
+        if pruning in ("CNP", "ReciprocalCNP"):
+            reciprocal = pruning == "ReciprocalCNP"
+            if k is None:
+                nodes = max(1, index_engine.num_entities)
+                k = max(1, int(round(index_engine.num_assignments / nodes)) - 1)
+            tasks = [
+                (entry["spec"], factors_spec, scheme, k, start, stop, use_numpy)
+                for start, stop in parts
+            ]
+            endorsed: Dict[Tuple[int, int], list] = {}
+            total = 0
+            for a_column, b_column, w_column, shard_total in self._run(
+                worker.cnp_endorse_job, tasks
+            ):
+                total += shard_total
+                for a, b, weight in zip(a_column, b_column, w_column):
+                    pair = (a, b) if a < b else (b, a)
+                    endorsement = endorsed.get(pair)
+                    if endorsement is None:
+                        endorsed[pair] = [weight, 1]
+                    else:
+                        endorsement[1] += 1
+            num_edges = total // 2
+            needed = 2 if reciprocal else 1
+            retained = []
+            for (a, b), (weight, endorsements) in endorsed.items():
+                if endorsements >= needed and weight > 0:
+                    retained.append(edge(a, b, weight))
+            index_engine._finish(num_edges, len(retained))
+            return retained
+
+        # CEP
+        if budget is None:
+            budget = max(1, index_engine.num_assignments // 2)
+        tasks = [
+            (entry["spec"], factors_spec, scheme, budget, start, stop, use_numpy)
+            for start, stop in parts
+        ]
+        count = 0
+        merged = []
+        for shard_count, neg_column, rank_f, rank_s, a_column, b_column in self._run(
+            worker.cep_candidates_job, tasks
+        ):
+            count += shard_count
+            merged.extend(zip(neg_column, rank_f, rank_s, a_column, b_column))
+        final = heapq.nsmallest(budget, merged)
+        retained = [edge(a, b, -neg_weight) for neg_weight, _rf, _rs, a, b in final]
+        index_engine._finish(count, len(retained))
+        return retained
 
     def _index_entry(self, index_engine) -> dict:
         key = id(index_engine)
@@ -379,6 +709,119 @@ class ParallelEngine:
                     if degree:
                         total[node] += degree
         index_engine._degree_cache = (total, num_edges)
+
+    # ------------------------------------------------------------------
+    # comparison columns
+    # ------------------------------------------------------------------
+    def weight_sort(self, columns):
+        """``columns.weight_sorted()`` with pooled per-shard sorting.
+
+        Row ranges are argsorted by the full ``(-weight, rank(first),
+        rank(second))`` key in the workers, and the driver k-way merges the
+        shard orders (heap merge over the same key, with the absolute row
+        index as the final stability tie-break).  The resulting permutation
+        -- and therefore the output columns -- is identical to the
+        sequential sort's.  Returns ``None`` when there is nothing to sort
+        (the caller falls back to :meth:`ComparisonColumns.weight_sorted`).
+        """
+        n = len(columns)
+        if n <= 1 or columns.weight_ordered:
+            return None
+        rank_column = array("q")
+        _extend_int64(rank_column, identifier_ranks(columns.ids))
+        exported = {
+            "rank": ("q", rank_column),
+            "first": ("q", columns.first),
+            "second": ("q", columns.second),
+        }
+        has_weights = columns.weights is not None
+        if has_weights:
+            exported["weights"] = ("d", columns.weights)
+        segment = self._segment(exported)
+        tasks = [
+            (segment.spec, has_weights, start, stop)
+            for start, stop in contiguous_partitions([1] * n, self.num_workers)
+        ]
+        shards = self._run(worker.weight_sort_job, tasks)
+        first = columns.first
+        second = columns.second
+        weights = columns.weights
+        rank = rank_column
+
+        def keyed(shard):
+            # the trailing row index only decides full-key ties: within a
+            # shard indices ascend (stable shard sort) and across shards the
+            # earlier shard holds the smaller indices, so it reproduces the
+            # sequential sort's stability exactly
+            if has_weights:
+                for i in shard:
+                    yield (-weights[i], rank[first[i]], rank[second[i]], i)
+            else:
+                for i in shard:
+                    yield (rank[first[i]], rank[second[i]], i)
+
+        sorted_first = array("q")
+        sorted_second = array("q")
+        sorted_weights = array("d") if has_weights else None
+        for row in heapq.merge(*(keyed(shard) for shard in shards)):
+            i = row[-1]
+            sorted_first.append(first[i])
+            sorted_second.append(second[i])
+            if has_weights:
+                sorted_weights.append(weights[i])
+        return ComparisonColumns(
+            columns.ids,
+            sorted_first,
+            sorted_second,
+            sorted_weights,
+            descriptions=columns.descriptions,
+            distinct=columns.distinct,
+            weight_ordered=True,
+        )
+
+    # ------------------------------------------------------------------
+    # clustering
+    # ------------------------------------------------------------------
+    def cluster_links(self, first, second, is_match, num_ids: int):
+        """Connected components of the positive rows, via per-shard union--find.
+
+        ``first``/``second`` must already be in canonical orientation (the
+        clustering engine's ``_canonical_rows``).  Workers scan contiguous
+        row ranges -- each running the sequential union--find pass locally
+        -- and the driver links every locally touched member to its local
+        root, shard by shard in range order.  The merged partition equals
+        the sequential one (a union of equivalence relations over the same
+        edges) and the deduplicated shard orders reproduce the sequential
+        first-touch order, so the grouped clusters come out in the identical
+        list order.  Returns ``(links, order)``, or ``None`` when there is
+        nothing to fan out.
+        """
+        n = len(first)
+        if n == 0 or num_ids == 0:
+            return None
+        segment = self._segment(
+            {
+                "first": ("q", first),
+                "second": ("q", second),
+                "is_match": ("B", is_match),
+            }
+        )
+        tasks = [
+            (segment.spec, num_ids, start, stop)
+            for start, stop in contiguous_partitions([1] * n, self.num_workers)
+        ]
+        links = IntUnionFind(num_ids)
+        touched = bytearray(num_ids)
+        order: List[int] = []
+        append = order.append
+        for shard_order, shard_roots in self._run(worker.cluster_links_job, tasks):
+            for member, root in zip(shard_order, shard_roots):
+                if not touched[member]:
+                    touched[member] = 1
+                    append(member)
+                if member != root:
+                    links.union(root, member)
+        return links, order
 
     # ------------------------------------------------------------------
     # matching

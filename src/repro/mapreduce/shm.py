@@ -96,7 +96,10 @@ class ColumnSegment:
             return
         self._destroyed = True
         self._shm.close()
-        self._shm.unlink()
+        try:
+            self._shm.unlink()
+        except FileNotFoundError:  # pragma: no cover - external removal
+            pass
 
     def __del__(self) -> None:  # pragma: no cover - safety net only
         try:

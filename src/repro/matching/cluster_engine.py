@@ -87,11 +87,18 @@ class ClusteringEngine:
         Force (``True``, raising :class:`ValueError` when NumPy is not
         importable) or forbid (``False``) the vectorised edge sort; ``None``
         uses NumPy whenever importable.  Both paths are bit-identical.
+    parallel:
+        Optional :class:`~repro.mapreduce.parallel.ParallelEngine`.  The
+        connected-components union--find then runs as per-shard passes over
+        shared-memory row ranges, merged on the driver -- bit-identical
+        clusters in the identical list order.  The center algorithms are
+        inherently sequential greedy scans and ignore it.
 
     Notes
     -----
     :attr:`last_engine` reports which engine actually produced the most
-    recent clusters (``"array"`` or ``"object"``).
+    recent clusters (``"array"``, ``"object"``, or ``"parallel"`` when the
+    pooled union--find ran).
     """
 
     def __init__(
@@ -99,6 +106,7 @@ class ClusteringEngine:
         algorithm: ClusteringAlgorithm,
         engine: str = "array",
         use_numpy: Optional[bool] = None,
+        parallel=None,
     ) -> None:
         if engine not in CLUSTERING_ENGINES:
             raise ValueError(
@@ -112,6 +120,7 @@ class ClusteringEngine:
         self.algorithm = algorithm
         self.engine = engine
         self._use_numpy = (_np is not None) if use_numpy is None else bool(use_numpy)
+        self.parallel = parallel
         #: engine that actually produced the last clusters
         self.last_engine: Optional[str] = None
 
@@ -200,6 +209,17 @@ class ClusteringEngine:
     def _cluster_connected(self, columns: DecisionColumns) -> List[FrozenSet[str]]:
         ids = columns.ids
         first, second = self._canonical_rows(columns)
+        if self.parallel is not None:
+            # per-shard union--find passes merged on the driver; the merge
+            # replays shard-local first-touch order range by range, which for
+            # contiguous row shards equals the sequential first-touch order
+            pooled = self.parallel.cluster_links(
+                first, second, columns.is_match, len(ids)
+            )
+            if pooled is not None:
+                self.last_engine = "parallel"
+                links, order = pooled
+                return self._group_by_root(links, order, ids)
         links = IntUnionFind(len(ids))
         touched = bytearray(len(ids))
         order: List[int] = []

@@ -167,10 +167,17 @@ class MetaBlocking:
         if spec is not None:
             weighting_name, pruning_name, kwargs = spec
             index = EntityIndexEngine(blocks)
-            if parallel is not None and parallel.install_node_weights(index):
-                self.last_engine = "parallel"
-            else:
-                self.last_engine = "index"
+            if parallel is not None:
+                # worker-side per-node selection: only retained edges cross
+                # the process boundary; bit-identical to the sequential pass
+                pooled = parallel.retained_edges(index, weighting_name, pruning_name, **kwargs)
+                if pooled is not None:
+                    self.last_engine = "parallel"
+                    yield from pooled
+                    self.last_graph_edges = index.last_num_edges or 0
+                    self.last_retained_edges = index.last_retained or 0
+                    return
+            self.last_engine = "index"
             yield from index.iter_retained(weighting_name, pruning_name, **kwargs)
             self.last_graph_edges = index.last_num_edges or 0
             self.last_retained_edges = index.last_retained or 0
@@ -240,6 +247,12 @@ class MetaBlocking:
         columns = ComparisonColumns(
             ids, first, second, weights, descriptions=descriptions, distinct=True
         )
+        if parallel is not None:
+            # pooled per-shard argsort + driver k-way merge; identical
+            # permutation (tie order included) to the sequential sort
+            pooled = parallel.weight_sort(columns)
+            if pooled is not None:
+                return pooled
         return columns.weight_sorted()
 
     def process(
