@@ -1,0 +1,142 @@
+"""Supervisor overhead and crash-recovery cost of the fault-tolerant engine.
+
+The supervised dispatcher (:class:`repro.mapreduce.supervisor.Supervisor`)
+replaces ``pool.map`` in every parallel stage, so its bookkeeping -- per-shard
+``apply_async`` handles, the ready-polling collect loop, the pool-damage
+checks -- sits on the hot path of every fanned-out batch.  This benchmark
+pins that cost: the supervised dispatch of a CPU-bound shard batch must stay
+within 5% of a bare ``pool.map`` of the same batch (best-of-N wall clock,
+with a small absolute allowance so single-core CI noise cannot flake the
+assertion).  It also records -- informationally -- what one worker SIGKILL
+costs end to end: detection, pool rebuild, backoff and the retry itself.
+
+Writes ``benchmarks/results/BENCH_fault_tolerance.json``.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+
+from benchmarks.conftest import save_table, write_bench_json
+from repro.mapreduce import faults
+from repro.mapreduce.faults import FaultSpec
+from repro.mapreduce.supervisor import Supervisor, shutdown_pool
+
+NUM_SHARDS = 8
+NUM_WORKERS = 2
+
+
+def _bench_job(task):
+    """A deterministic CPU-bound shard: sum of squares over a range."""
+    start, stop = task
+    total = 0
+    for value in range(start, stop):
+        total += value * value
+    return total
+
+
+def _pool_factory():
+    method = "fork" if "fork" in multiprocessing.get_all_start_methods() else None
+    context = multiprocessing.get_context(method)
+    return context.Pool(processes=NUM_WORKERS, initializer=faults.mark_worker)
+
+
+def _tasks(span: int):
+    return [(i * span, (i + 1) * span) for i in range(NUM_SHARDS)]
+
+
+def _best_of(reps: int, run) -> float:
+    best = float("inf")
+    for _ in range(reps):
+        started = time.perf_counter()
+        run()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def test_supervisor_overhead_under_five_percent(benchmark):
+    quick = os.environ.get("REPRO_BENCH_QUICK") == "1"
+    span = 40_000 if quick else 150_000
+    reps = 3 if quick else 5
+    tasks = _tasks(span)
+    expected = [_bench_job(task) for task in tasks]
+
+    pool = _pool_factory()
+    try:
+        assert pool.map(_bench_job, tasks) == expected  # warm the pool
+        bare_best = _best_of(reps, lambda: pool.map(_bench_job, tasks))
+    finally:
+        shutdown_pool(pool, graceful=False)
+
+    supervisor = Supervisor(_pool_factory)
+    try:
+        assert supervisor.run(_bench_job, tasks, "bench") == expected  # warm
+        supervised_best = _best_of(
+            reps, lambda: supervisor.run(_bench_job, tasks, "bench")
+        )
+        assert supervisor.stats == {}  # a clean run must record no faults
+    finally:
+        supervisor.shutdown()
+
+    # recovery cost (informational): one SIGKILL on the first dispatch --
+    # detection, pool rebuild, backoff, retry
+    supervisor = Supervisor(_pool_factory)
+    try:
+        with faults.injected(FaultSpec(stage="bench", mode="kill")):
+            started = time.perf_counter()
+            assert supervisor.run(_bench_job, tasks, "bench") == expected
+            recovery_seconds = time.perf_counter() - started
+        assert supervisor.stats["bench"]["pool_rebuilds"] >= 1
+    finally:
+        supervisor.shutdown()
+
+    benchmark.pedantic(
+        lambda: _bench_job(tasks[0]), rounds=1, iterations=1
+    )
+
+    overhead = supervised_best / max(1e-9, bare_best) - 1.0
+    rows = [
+        {"dispatcher": "pool.map", "best seconds": round(bare_best, 4), "overhead": "-"},
+        {
+            "dispatcher": "Supervisor.run",
+            "best seconds": round(supervised_best, 4),
+            "overhead": f"{overhead:+.1%}",
+        },
+        {
+            "dispatcher": "Supervisor.run + 1 worker kill",
+            "best seconds": round(recovery_seconds, 4),
+            "overhead": "(recovery cost, single run)",
+        },
+    ]
+    save_table(
+        "BENCH_fault_tolerance",
+        rows,
+        f"supervised dispatch overhead ({NUM_SHARDS} shards x {span} iterations, "
+        f"{NUM_WORKERS} workers, best of {reps})",
+        notes=(
+            "The supervisor must cost < 5% over a bare pool.map on a clean run; "
+            "the kill row prices detection + pool rebuild + backoff + retry."
+        ),
+    )
+    write_bench_json(
+        "fault_tolerance",
+        {
+            "workload": f"sum-of-squares, {NUM_SHARDS} shards x {span} iterations",
+            "workers": NUM_WORKERS,
+            "reps": reps,
+            "bare_pool_map_seconds": bare_best,
+            "supervised_seconds": supervised_best,
+            "overhead_fraction": overhead,
+            "kill_recovery_seconds": recovery_seconds,
+        },
+    )
+    benchmark.extra_info["rows"] = rows
+
+    # the contract the satellite pins: < 5% dispatch overhead, with an
+    # absolute 10 ms allowance so a noisy shared core cannot flake it
+    assert supervised_best <= bare_best * 1.05 + 0.01, (
+        f"supervisor overhead too high: bare={bare_best:.4f}s "
+        f"supervised={supervised_best:.4f}s ({overhead:+.1%})"
+    )

@@ -22,6 +22,7 @@ from repro.core.growable import GrowableColumn, GrowableContext
 from repro.core.results import WorkflowResult
 from repro.core.snapshot import (
     SNAPSHOT_FORMAT_VERSION,
+    SnapshotError,
     SnapshotReader,
     SnapshotWriter,
 )
@@ -35,6 +36,7 @@ __all__ = [
     "IntUnionFind",
     "PipelineContext",
     "SNAPSHOT_FORMAT_VERSION",
+    "SnapshotError",
     "SnapshotReader",
     "SnapshotWriter",
     "UnionFind",

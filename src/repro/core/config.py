@@ -116,6 +116,27 @@ class WorkflowConfig:
         in-process.  Results -- blocks, retained edges, match decisions,
         clusters, tie orders -- are bit-identical to the single-process run
         at every worker count.
+    worker_timeout:
+        No-progress timeout (seconds) of the parallel engine's shard
+        batches: if no shard completes within it, the pool is assumed hung,
+        torn down and the outstanding shards retried.  ``None`` (default)
+        disables the clock; crashed workers are still detected without it --
+        the timeout is what recovers from silently *hung* ones.  Ignored
+        when ``num_workers == 1``.
+    max_shard_retries:
+        How many times a failed shard is re-dispatched to a rebuilt pool
+        (with bounded exponential backoff) before ``on_worker_failure``
+        applies.  Retried shards are recomputed deterministically, so
+        recovery never changes a result.
+    on_worker_failure:
+        What to do when a shard exhausts its retries: ``"degrade"``
+        (default) recomputes the failed shards serially on the driver --
+        results stay bit-identical, only the speedup is lost -- warning
+        with :class:`~repro.mapreduce.supervisor.DegradedExecutionWarning`
+        and recording per-stage counts in the workflow report
+        (``fault_events`` on :class:`~repro.core.results.WorkflowResult`);
+        ``"raise"`` aborts the run with
+        :class:`~repro.mapreduce.supervisor.WorkerFailureError`.
     """
 
     blocking: str = "token"
@@ -140,6 +161,9 @@ class WorkflowConfig:
     incremental_engine: str = "array"
     shared_context: bool = True
     num_workers: int = 1
+    worker_timeout: Optional[float] = None
+    max_shard_retries: int = 2
+    on_worker_failure: str = "degrade"
 
     def describe(self) -> str:
         """One-line human-readable summary of the configured pipeline."""

@@ -194,14 +194,24 @@ class ERWorkflow:
         duration of the run and handed to the blocking, meta-blocking and
         matching engines; each fans its hot pass out to worker processes
         when it can reproduce the single-process result bit for bit, and
-        runs single-process otherwise.  Results are identical either way.
+        runs single-process otherwise.  Results are identical either way --
+        including under worker failure: the engine retries lost shards on a
+        rebuilt pool and, per ``config.on_worker_failure``, degrades to
+        serial recomputation (recording per-stage counts in the result's
+        ``fault_events``) or raises
+        :class:`~repro.mapreduce.supervisor.WorkerFailureError`.
         """
         config = self.config
         parallel = None
         if config.num_workers > 1 and config.shared_context:
             from repro.mapreduce.parallel import ParallelEngine
 
-            parallel = ParallelEngine(num_workers=config.num_workers)
+            parallel = ParallelEngine(
+                num_workers=config.num_workers,
+                worker_timeout=config.worker_timeout,
+                max_shard_retries=config.max_shard_retries,
+                on_worker_failure=config.on_worker_failure,
+            )
         try:
             return self._run(data, ground_truth, parallel)
         finally:
@@ -486,6 +496,15 @@ class ERWorkflow:
             result.matching_quality = evaluate_matches(
                 cluster_spanning_pairs(result.clusters), ground_truth
             )
+
+        if parallel is not None and parallel.fault_stats:
+            # worker failures were survived (retried and/or degraded):
+            # surface the per-stage counts in the result and the report
+            result.fault_events = {
+                stage: dict(counts) for stage, counts in parallel.fault_stats.items()
+            }
+            for stage, counts in result.fault_events.items():
+                report.add_stage(f"fault_recovery[{stage}]", **counts)
 
         return result
 

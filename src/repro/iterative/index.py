@@ -487,8 +487,19 @@ class IncrementalIndex:
     # persistence
     # ------------------------------------------------------------------
     def save(self, path: Union[str, Path]) -> None:
-        """Write the full resolution state as a versioned snapshot directory."""
-        writer = SnapshotWriter(path)
+        """Write the full resolution state as a versioned snapshot directory.
+
+        The write is all-or-nothing even onto an existing snapshot at
+        ``path``: the writer stages into a temp directory and atomically
+        swaps it in on success (see :class:`~repro.core.snapshot.SnapshotWriter`),
+        so a crash or exception mid-save -- even between columns -- leaves
+        the previous snapshot fully loadable and never a mix of old and new
+        columns.
+        """
+        with SnapshotWriter(path) as writer:
+            self._write_state(writer)
+
+    def _write_state(self, writer: SnapshotWriter) -> None:
         self.context.write_snapshot(writer)
         writer.column("index.uf_parent", self._uf.parent)
         # note: array('q', <bytes-like>) would reinterpret raw bytes, so the
@@ -540,7 +551,6 @@ class IncrementalIndex:
                 "cost": matcher.cost,
             },
         )
-        writer.close()
 
     @classmethod
     def load(

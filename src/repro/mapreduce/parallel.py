@@ -25,6 +25,16 @@ ever attach (see :mod:`repro.mapreduce.shm` for the tracker discipline that
 keeps ``resource_tracker`` silent).  Unlike the sequential pruning passes,
 whose transient memory is bounded by one neighbourhood, the driver holds each
 fanned-out weight round in full while the pruning pass consumes it.
+
+Fault tolerance: every stage dispatches through a
+:class:`~repro.mapreduce.supervisor.Supervisor` rather than a bare
+``pool.map`` -- dead workers are detected, the pool is rebuilt, failed shards
+retry with bounded exponential backoff, and on retry exhaustion the engine
+either raises :class:`~repro.mapreduce.supervisor.WorkerFailureError` or
+(default) recomputes the lost shards serially on the driver, bit-identically,
+warning with :class:`~repro.mapreduce.supervisor.DegradedExecutionWarning`.
+Segments carry a janitor-parseable run prefix and engine construction sweeps
+orphans left by crashed previous runs (:func:`repro.mapreduce.shm.sweep`).
 """
 
 from __future__ import annotations
@@ -37,9 +47,10 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.core.unionfind import IntUnionFind
 from repro.datamodel.pairs import ComparisonColumns, canonical_pair, identifier_ranks
-from repro.mapreduce import worker
+from repro.mapreduce import shm, worker
 from repro.mapreduce.balancing import contiguous_partitions
 from repro.mapreduce.shm import ColumnSegment, SegmentSpec
+from repro.mapreduce.supervisor import Supervisor
 
 try:  # pragma: no cover - exercised implicitly when numpy is installed
     import numpy as _np
@@ -70,6 +81,20 @@ class ParallelEngine:
         ``multiprocessing`` start method; ``None`` picks ``fork`` when the
         platform offers it (workers then inherit the interpreter state) and
         the platform default otherwise.
+    worker_timeout:
+        No-progress timeout in seconds for each shard batch (the clock
+        re-arms on every completed shard); ``None`` disables it.  Required to
+        recover from silently *hung* workers -- dead ones are detected
+        without it.
+    max_shard_retries:
+        How many times a failed shard is re-dispatched to a rebuilt pool
+        before ``on_worker_failure`` applies.
+    on_worker_failure:
+        ``"degrade"`` (default): recompute exhausted shards serially on the
+        driver (bit-identical, with a
+        :class:`~repro.mapreduce.supervisor.DegradedExecutionWarning`);
+        ``"raise"``: abort with
+        :class:`~repro.mapreduce.supervisor.WorkerFailureError`.
 
     Notes
     -----
@@ -78,20 +103,32 @@ class ParallelEngine:
     :class:`~repro.matching.engine.MatchingEngine` via their ``parallel``
     parameters; they call back into the three public stage methods below.
     Always :meth:`close` the engine (or use ``with``): that terminates the
-    pool and unlinks every shared-memory segment.
+    pool and unlinks every shared-memory segment.  Per-stage retry/degrade
+    counters accumulate in :attr:`fault_stats`.
     """
 
     def __init__(
         self,
         num_workers: int = 4,
         start_method: Optional[str] = None,
+        worker_timeout: Optional[float] = None,
+        max_shard_retries: int = 2,
+        on_worker_failure: str = "degrade",
     ) -> None:
         if num_workers < 1:
             raise ValueError("num_workers must be at least 1")
         self.num_workers = num_workers
         self._start_method = start_method
-        self._pool = None
+        self._supervisor = Supervisor(
+            self._build_pool,
+            timeout=worker_timeout,
+            max_retries=max_shard_retries,
+            on_failure=on_worker_failure,
+            inline_cleanup=worker.release_attachments,
+        )
         self._segments: List[ColumnSegment] = []
+        self._segment_prefix = shm.new_run_prefix()
+        self._segment_seq = 0
         # caches hold strong references to their keys' objects so an id()
         # can never be recycled while its entry is alive
         self._context_entries: Dict[int, Tuple[object, dict]] = {}
@@ -99,60 +136,87 @@ class ParallelEngine:
         self._idf_specs: Dict[Tuple[int, int], Tuple[object, SegmentSpec]] = {}
         self._index_entries: Dict[int, Tuple[object, dict]] = {}
         self._closed = False
+        # a crashed previous run cannot clean up after itself: its successor
+        # does, before allocating segments of its own
+        shm.sweep()
 
     # ------------------------------------------------------------------
     # lifecycle
     # ------------------------------------------------------------------
-    def _run(self, job, tasks: Sequence[tuple]) -> list:
+    @property
+    def fault_stats(self) -> Dict[str, Dict[str, int]]:
+        """Per-stage ``{"retries", "degraded", "pool_rebuilds"}`` counters.
+
+        Stages that never saw a failure never appear; an empty dict is the
+        happy path.
+        """
+        return self._supervisor.stats
+
+    def _build_pool(self):
+        method = self._start_method
+        if method is None and "fork" in multiprocessing.get_all_start_methods():
+            method = "fork"
+        context = (
+            multiprocessing.get_context(method)
+            if method is not None
+            else multiprocessing.get_context()
+        )
+        # only spawned workers run their own resource tracker; forked
+        # (and forkserver) workers share the driver's -- see shm.py.
+        # The driver's tracker must exist BEFORE the fork: otherwise a
+        # forked worker's first attach starts a private tracker that,
+        # when the worker exits, unlinks every segment it ever saw out
+        # from under the driver and its remaining workers.
+        if context.get_start_method() != "spawn":
+            from multiprocessing import resource_tracker
+
+            resource_tracker.ensure_running()
+        return context.Pool(
+            processes=self.num_workers,
+            initializer=worker.configure,
+            initargs=(context.get_start_method() == "spawn",),
+        )
+
+    def _run(self, job, tasks: Sequence[tuple], stage: str) -> list:
         if self._closed:
             raise RuntimeError("ParallelEngine is closed")
-        if self._pool is None:
-            method = self._start_method
-            if method is None and "fork" in multiprocessing.get_all_start_methods():
-                method = "fork"
-            context = (
-                multiprocessing.get_context(method)
-                if method is not None
-                else multiprocessing.get_context()
-            )
-            # only spawned workers run their own resource tracker; forked
-            # (and forkserver) workers share the driver's -- see shm.py.
-            # The driver's tracker must exist BEFORE the fork: otherwise a
-            # forked worker's first attach starts a private tracker that,
-            # when the worker exits, unlinks every segment it ever saw out
-            # from under the driver and its remaining workers.
-            if context.get_start_method() != "spawn":
-                from multiprocessing import resource_tracker
-
-                resource_tracker.ensure_running()
-            self._pool = context.Pool(
-                processes=self.num_workers,
-                initializer=worker.configure,
-                initargs=(context.get_start_method() == "spawn",),
-            )
-        return self._pool.map(job, tasks)
+        return self._supervisor.run(job, tasks, stage)
 
     def _segment(self, columns) -> ColumnSegment:
-        segment = ColumnSegment(columns)
+        if self._closed:
+            raise RuntimeError("ParallelEngine is closed")
+        segment = ColumnSegment(columns, name=f"{self._segment_prefix}-{self._segment_seq}")
+        self._segment_seq += 1
         self._segments.append(segment)
         return segment
 
     def close(self) -> None:
-        """Terminate the pool and unlink every shared-memory segment (idempotent)."""
+        """Terminate the pool and unlink every shared-memory segment.
+
+        Idempotent and exception-safe: the pool teardown is bounded by a
+        watchdog (a wedged worker is killed rather than joined forever, see
+        :func:`repro.mapreduce.supervisor.shutdown_pool`), and every segment
+        is destroyed even if destroying one of them raises.
+        """
         if self._closed:
             return
         self._closed = True
-        if self._pool is not None:
-            self._pool.close()
-            self._pool.join()
-            self._pool = None
-        for segment in self._segments:
-            segment.destroy()
-        self._segments = []
-        self._context_entries.clear()
-        self._mask_specs.clear()
-        self._idf_specs.clear()
-        self._index_entries.clear()
+        try:
+            self._supervisor.shutdown()
+        finally:
+            segments, self._segments = self._segments, []
+            errors = []
+            for segment in segments:
+                try:
+                    segment.destroy()
+                except Exception as error:  # pragma: no cover - defensive
+                    errors.append(error)
+            self._context_entries.clear()
+            self._mask_specs.clear()
+            self._idf_specs.clear()
+            self._index_entries.clear()
+            if errors:  # pragma: no cover - defensive
+                raise errors[0]
 
     def __enter__(self) -> "ParallelEngine":
         return self
@@ -261,7 +325,7 @@ class ParallelEngine:
             (payloads[start:stop],)
             for start, stop in contiguous_partitions(costs, self.num_workers)
         ]
-        shards = self._run(worker.intern_descriptions_job, tasks)
+        shards = self._run(worker.intern_descriptions_job, tasks, "interning")
         context._intern_shards(descriptions, shards)
         return True
 
@@ -286,7 +350,7 @@ class ParallelEngine:
             for start, stop in contiguous_partitions(costs, self.num_workers)
         ]
         postings: Dict[int, array] = {}
-        for token_column, counts, flat in self._run(worker.token_postings_job, tasks):
+        for token_column, counts, flat in self._run(worker.token_postings_job, tasks, "postings"):
             position = 0
             for token_id, count in zip(token_column, counts):
                 posting = postings.get(token_id)
@@ -322,7 +386,7 @@ class ParallelEngine:
             for start, stop in contiguous_partitions([1] * len(lens), self.num_workers)
         ]
         cards = array("q")
-        for chunk in self._run(worker.block_cardinalities_job, tasks):
+        for chunk in self._run(worker.block_cardinalities_job, tasks, "cardinalities"):
             cards.extend(chunk)
         return cards
 
@@ -345,7 +409,7 @@ class ParallelEngine:
             (segment.spec, ratio, start, stop, use_numpy)
             for start, stop in contiguous_partitions(costs, self.num_workers)
         ]
-        for chunk in self._run(worker.filter_keep_job, tasks):
+        for chunk in self._run(worker.filter_keep_job, tasks, "filtering"):
             for position in chunk:
                 keep_flags[position] = 1
         return keep_flags
@@ -410,9 +474,7 @@ class ParallelEngine:
         append = out.append
         pair = Block.pair
         bilateral_pair = Block.bilateral_pair
-        for codes, firsts, seconds, flags, error in self._run(
-            worker.propagate_pairs_job, tasks
-        ):
+        for codes, firsts, seconds, flags, error in self._run(worker.propagate_pairs_job, tasks, "propagation"):
             for code, f, s, orientation in zip(codes, firsts, seconds, flags):
                 if code in seen:
                     continue
@@ -499,7 +561,7 @@ class ParallelEngine:
             ]
             count = 0
             partials: List[float] = []
-            for shard_count, shard_partials in self._run(worker.wep_stats_job, tasks):
+            for shard_count, shard_partials in self._run(worker.wep_stats_job, tasks, "wep_stats"):
                 count += shard_count
                 partials.extend(shard_partials)
             if count == 0:
@@ -513,7 +575,7 @@ class ParallelEngine:
                 for start, stop in parts
             ]
             retained = []
-            for firsts, seconds, weights in self._run(worker.wep_emit_job, tasks):
+            for firsts, seconds, weights in self._run(worker.wep_emit_job, tasks, "wep_emit"):
                 for i, j, weight in zip(firsts, seconds, weights):
                     retained.append(edge(i, j, weight))
             index_engine._finish(count, len(retained))
@@ -529,7 +591,7 @@ class ParallelEngine:
                 for start, stop in parts
             ]
             for (start, stop), (counts, sums, shard_total) in zip(
-                parts, self._run(worker.wnp_stats_job, tasks)
+                parts, self._run(worker.wnp_stats_job, tasks, "wnp_stats")
             ):
                 total += shard_total
                 for offset, degree in enumerate(counts):
@@ -554,7 +616,7 @@ class ParallelEngine:
                 for start, stop in parts
             ]
             retained = []
-            for firsts, seconds, weights in self._run(worker.wnp_emit_job, tasks):
+            for firsts, seconds, weights in self._run(worker.wnp_emit_job, tasks, "wnp_emit"):
                 for i, j, weight in zip(firsts, seconds, weights):
                     retained.append(edge(i, j, weight))
             index_engine._finish(num_edges, len(retained))
@@ -571,9 +633,7 @@ class ParallelEngine:
             ]
             endorsed: Dict[Tuple[int, int], list] = {}
             total = 0
-            for a_column, b_column, w_column, shard_total in self._run(
-                worker.cnp_endorse_job, tasks
-            ):
+            for a_column, b_column, w_column, shard_total in self._run(worker.cnp_endorse_job, tasks, "cnp"):
                 total += shard_total
                 for a, b, weight in zip(a_column, b_column, w_column):
                     pair = (a, b) if a < b else (b, a)
@@ -600,9 +660,7 @@ class ParallelEngine:
         ]
         count = 0
         merged = []
-        for shard_count, neg_column, rank_f, rank_s, a_column, b_column in self._run(
-            worker.cep_candidates_job, tasks
-        ):
+        for shard_count, neg_column, rank_f, rank_s, a_column, b_column in self._run(worker.cep_candidates_job, tasks, "cep"):
             count += shard_count
             merged.extend(zip(neg_column, rank_f, rank_s, a_column, b_column))
         final = heapq.nsmallest(budget, merged)
@@ -660,7 +718,7 @@ class ParallelEngine:
             (entry["spec"], factors_spec, scheme, lower, start, stop, index_engine._use_numpy)
             for start, stop in entry["parts"]
         ]
-        rounds = self._run(worker.node_weights_job, tasks)
+        rounds = self._run(worker.node_weights_job, tasks, "weights")
         entry["rounds"][key] = rounds
         return rounds
 
@@ -690,7 +748,7 @@ class ParallelEngine:
             (entry["spec"], start, stop, index_engine._use_numpy)
             for start, stop in entry["parts"]
         ]
-        results = self._run(worker.partial_degrees_job, tasks)
+        results = self._run(worker.partial_degrees_job, tasks, "degrees")
         num_entities = index_engine.num_entities
         num_edges = 0
         if _np is not None and index_engine._use_numpy:
@@ -742,7 +800,7 @@ class ParallelEngine:
             (segment.spec, has_weights, start, stop)
             for start, stop in contiguous_partitions([1] * n, self.num_workers)
         ]
-        shards = self._run(worker.weight_sort_job, tasks)
+        shards = self._run(worker.weight_sort_job, tasks, "weight_sort")
         first = columns.first
         second = columns.second
         weights = columns.weights
@@ -814,7 +872,7 @@ class ParallelEngine:
         touched = bytearray(num_ids)
         order: List[int] = []
         append = order.append
-        for shard_order, shard_roots in self._run(worker.cluster_links_job, tasks):
+        for shard_order, shard_roots in self._run(worker.cluster_links_job, tasks, "clustering"):
             for member, root in zip(shard_order, shard_roots):
                 if not touched[member]:
                     touched[member] = 1
@@ -861,6 +919,6 @@ class ParallelEngine:
             for start, stop in contiguous_partitions([1.0] * len(first), self.num_workers)
         ]
         scores: List[float] = []
-        for chunk in self._run(worker.similarity_scores_job, tasks):
+        for chunk in self._run(worker.similarity_scores_job, tasks, "scoring"):
             scores.extend(chunk)
         return scores

@@ -1,0 +1,368 @@
+"""Supervised shard dispatch: the fault-tolerant replacement for ``pool.map``.
+
+A bare ``Pool.map`` call has no story for worker death: a SIGKILLed worker's
+in-flight chunk is lost forever (its result never arrives), a wedged worker
+blocks the map indefinitely, and the driver's only symptom is a hang.  The
+:class:`Supervisor` replaces that call for every
+:class:`~repro.mapreduce.parallel.ParallelEngine` stage:
+
+* shards are submitted **individually** (``apply_async``), so one lost shard
+  never takes sibling results down with it;
+* the collect loop watches for **pool damage** -- a worker whose ``exitcode``
+  is set, the pool's worker pid-set churning (the pool replaces dead workers,
+  but their in-flight shards are already lost), or the pool leaving its
+  running state -- and for a **no-progress timeout** (the deadline re-arms on
+  every reaped shard, so only a stalled batch trips it, not a slow one);
+* on either signal the pool is torn down (``terminate`` + watchdog join, see
+  :func:`shutdown_pool`), rebuilt, and the unfinished shards are resubmitted
+  after a bounded exponential backoff;
+* when a shard exhausts its retries the configured policy applies:
+  ``"raise"`` aborts with :class:`WorkerFailureError`, ``"degrade"`` warns
+  with :class:`DegradedExecutionWarning` and recomputes the shard **inline on
+  the driver** -- the job functions are ordinary picklable callables, the
+  driver can attach its own shared-memory segments, and the serial engines
+  are the bit-identity oracle, so a degraded run returns byte-identical
+  results (just without the parallelism).
+
+Determinism is preserved by construction: results are collected into their
+task-index slots regardless of completion order, every stage's merge walks
+shards in range order, and the shard jobs themselves are deterministic -- so
+a retried or degraded shard contributes exactly the bytes the first attempt
+would have.  Exceptions *raised by the job itself* (deterministic data
+errors) are not retried: they would fail identically on every attempt, so
+they propagate to the caller unchanged, exactly as under ``pool.map``.
+
+:func:`~repro.mapreduce.faults.maybe_trigger` is woven into the worker-side
+entry point (:func:`invoke`), which is how the chaos suite injects worker
+kills/hangs/delays at an exact (stage, shard, attempt) coordinate.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+import warnings
+from multiprocessing import pool as mp_pool
+from typing import Callable, Dict, List, Optional, Sequence
+
+from repro.mapreduce import faults
+
+__all__ = [
+    "DegradedExecutionWarning",
+    "Supervisor",
+    "WorkerFailureError",
+    "invoke",
+    "shutdown_pool",
+]
+
+
+class WorkerFailureError(RuntimeError):
+    """A shard exhausted its retries under the ``"raise"`` failure policy."""
+
+    def __init__(self, stage: str, shard: int, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"stage {stage!r} shard {shard} failed after {attempts} "
+            f"pool attempt(s): {reason}"
+        )
+        self.stage = stage
+        self.shard = shard
+        self.attempts = attempts
+        self.reason = reason
+
+
+class DegradedExecutionWarning(RuntimeWarning):
+    """A shard exhausted its retries and was recomputed serially on the driver."""
+
+    def __init__(self, stage: str, shard: int, attempts: int, reason: str) -> None:
+        super().__init__(
+            f"stage {stage!r} shard {shard} failed after {attempts} pool "
+            f"attempt(s) ({reason}); recomputed serially on the driver -- "
+            "results are unaffected, parallel speedup is"
+        )
+        self.stage = stage
+        self.shard = shard
+        self.attempts = attempts
+        self.reason = reason
+
+
+def invoke(payload):
+    """Worker-side shard entry point: fault hook, then the real job.
+
+    ``payload`` is ``(job, task, stage, shard, attempt)``.  Module-level so
+    it is picklable under every start method; the attempt number travels in
+    the payload (not the environment) because forked workers snapshot the
+    driver's environment at pool build time.
+    """
+    job, task, stage, shard, attempt = payload
+    faults.maybe_trigger(stage, shard, attempt)
+    return job(task)
+
+
+def _kill_workers(pool) -> None:
+    for process in list(getattr(pool, "_pool", []) or []):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-reaped worker
+            pass
+
+
+def shutdown_pool(pool, graceful: bool = True, join_timeout: float = 5.0) -> None:
+    """Shut a pool down without ever hanging the driver -- or interpreter exit.
+
+    The naive ``close()`` + ``join()`` blocks forever when a worker is wedged
+    in a shard: the killed worker's pending result keeps the pool's cache
+    non-empty, so the worker handler respawns workers and ``join()`` never
+    returns.  Here the whole drain runs in a watchdog thread; if it misses
+    ``join_timeout`` the workers are ``SIGKILL``-ed and ``pool.terminate()``
+    is invoked from a second daemon thread (its first act is flipping the
+    handler threads to ``TERMINATE``, which stops the respawn loop, even if
+    the rest of the teardown then wedges on a queue lock a killed worker
+    died holding).  If the drain *still* has not finished, the pool's
+    ``atexit`` finalizer is cancelled -- running it at interpreter exit would
+    hang the exit on the same lock; abandoning the daemon threads leaks a
+    few handles instead, and they cannot keep the interpreter alive.
+    """
+    if pool is None:
+        return
+
+    def drain() -> None:
+        try:
+            if graceful:
+                pool.close()
+            else:
+                pool.terminate()
+            pool.join()
+        except Exception:
+            pass
+
+    watchdog = threading.Thread(target=drain, daemon=True, name="repro-pool-drain")
+    watchdog.start()
+    watchdog.join(join_timeout)
+    if not watchdog.is_alive():
+        return
+    _kill_workers(pool)
+    escalation = threading.Thread(
+        target=pool.terminate, daemon=True, name="repro-pool-terminate"
+    )
+    escalation.start()
+    escalation.join(join_timeout)
+    # terminate's state flip may have raced one last worker respawn
+    _kill_workers(pool)
+    watchdog.join(join_timeout)
+    if watchdog.is_alive() or escalation.is_alive():
+        finalizer = getattr(pool, "_terminate", None)
+        if hasattr(finalizer, "cancel"):  # pragma: no cover - wedged teardown
+            finalizer.cancel()
+
+
+class Supervisor:
+    """Owns a worker pool and runs shard batches on it fault-tolerantly.
+
+    Parameters
+    ----------
+    pool_factory:
+        Zero-argument callable returning a fresh ``multiprocessing`` pool;
+        invoked lazily for the first batch and again after every rebuild.
+    timeout:
+        No-progress timeout in seconds: the clock re-arms every time a shard
+        result is reaped, so it bounds *stalls*, not batch duration.  ``None``
+        (default) disables it -- dead workers are still detected by exitcode
+        and pid churn; only silent hangs then need external intervention.
+    max_retries:
+        How many times a failed shard is re-dispatched to a (rebuilt) pool
+        before the failure policy applies.
+    on_failure:
+        ``"degrade"`` (default): warn and recompute exhausted shards serially
+        on the driver.  ``"raise"``: abort with :class:`WorkerFailureError`.
+    backoff_base / backoff_cap:
+        Bounded exponential backoff between rebuild attempts:
+        ``min(cap, base * 2**(attempt-1))`` seconds.
+    poll_interval:
+        Collect-loop wait granularity in seconds.
+    join_timeout:
+        Watchdog window passed to :func:`shutdown_pool`.
+    inline_cleanup:
+        Optional callable invoked after any degraded inline recomputation of
+        a batch; the parallel engine passes
+        :func:`repro.mapreduce.worker.release_attachments` so shared-memory
+        attachments the inline jobs cached in the *driver* process are
+        released before the engine unlinks its segments.
+
+    Attributes
+    ----------
+    stats:
+        ``{stage: {"retries": int, "degraded": int, "pool_rebuilds": int}}``
+        accumulated over the supervisor's lifetime; stages that never failed
+        never appear.  This is what surfaces in the workflow report and the
+        CLI stats output.
+    """
+
+    _POLICIES = ("degrade", "raise")
+
+    def __init__(
+        self,
+        pool_factory: Callable[[], "mp_pool.Pool"],
+        *,
+        timeout: Optional[float] = None,
+        max_retries: int = 2,
+        on_failure: str = "degrade",
+        backoff_base: float = 0.05,
+        backoff_cap: float = 2.0,
+        poll_interval: float = 0.02,
+        join_timeout: float = 5.0,
+        inline_cleanup: Optional[Callable[[], None]] = None,
+    ) -> None:
+        if on_failure not in self._POLICIES:
+            raise ValueError(
+                f"on_failure must be one of {self._POLICIES}, got {on_failure!r}"
+            )
+        if max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+        self._pool_factory = pool_factory
+        self._timeout = timeout
+        self._max_retries = max_retries
+        self._on_failure = on_failure
+        self._backoff_base = backoff_base
+        self._backoff_cap = backoff_cap
+        self._poll_interval = poll_interval
+        self._join_timeout = join_timeout
+        self._inline_cleanup = inline_cleanup
+        self._pool = None
+        self._pool_pids: frozenset = frozenset()
+        self.stats: Dict[str, Dict[str, int]] = {}
+
+    # ------------------------------------------------------------------
+    # pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        if self._pool is None:
+            self._pool = self._pool_factory()
+            self._pool_pids = frozenset(p.pid for p in self._pool._pool)
+        return self._pool
+
+    def _discard_pool(self) -> None:
+        pool, self._pool = self._pool, None
+        self._pool_pids = frozenset()
+        if pool is not None:
+            shutdown_pool(pool, graceful=False, join_timeout=self._join_timeout)
+
+    def shutdown(self, graceful: bool = True) -> None:
+        """Tear the pool down (idempotent; never hangs, see :func:`shutdown_pool`)."""
+        pool, self._pool = self._pool, None
+        self._pool_pids = frozenset()
+        if pool is not None:
+            shutdown_pool(pool, graceful=graceful, join_timeout=self._join_timeout)
+
+    def _stage_stats(self, stage: str) -> Dict[str, int]:
+        stats = self.stats.get(stage)
+        if stats is None:
+            stats = self.stats[stage] = {"retries": 0, "degraded": 0, "pool_rebuilds": 0}
+        return stats
+
+    # ------------------------------------------------------------------
+    # dispatch
+    # ------------------------------------------------------------------
+    def run(self, job, tasks: Sequence[tuple], stage: str) -> list:
+        """Run ``job`` over ``tasks`` on the pool; returns results in task order.
+
+        Semantically ``[job(t) for t in tasks]`` -- including which exception
+        is raised when a job fails deterministically -- but executed on the
+        worker pool with crash recovery as described in the module docstring.
+        """
+        tasks = list(tasks)
+        results: List[object] = [None] * len(tasks)
+        done = [False] * len(tasks)
+        attempts = [0] * len(tasks)
+        pending = list(range(len(tasks)))
+        recomputed_inline = False
+        while pending:
+            pool = self._ensure_pool()
+            handles = {}
+            for shard in pending:
+                attempts[shard] += 1
+                payload = (job, tasks[shard], stage, shard, attempts[shard] - 1)
+                handles[shard] = pool.apply_async(invoke, (payload,))
+            pending = []
+            reason = self._collect(pool, handles, results, done)
+            if reason is None:
+                continue
+            # the pool is damaged or stalled: everything unreaped is suspect
+            self._discard_pool()
+            stats = self._stage_stats(stage)
+            stats["pool_rebuilds"] += 1
+            backoff = 0.0
+            for shard in sorted(handles):
+                if attempts[shard] <= self._max_retries:
+                    stats["retries"] += 1
+                    pending.append(shard)
+                    backoff = max(
+                        backoff,
+                        min(self._backoff_cap, self._backoff_base * 2 ** (attempts[shard] - 1)),
+                    )
+                elif self._on_failure == "raise":
+                    raise WorkerFailureError(stage, shard, attempts[shard], reason)
+                else:
+                    stats["degraded"] += 1
+                    warnings.warn(
+                        DegradedExecutionWarning(stage, shard, attempts[shard], reason),
+                        stacklevel=2,
+                    )
+                    # the driver runs the exact worker kernel inline: the
+                    # fault hook is inert outside worker processes, and the
+                    # jobs are deterministic, so this is the oracle result
+                    results[shard] = job(tasks[shard])
+                    done[shard] = True
+                    recomputed_inline = True
+            if pending and backoff > 0:
+                time.sleep(backoff)
+        if recomputed_inline and self._inline_cleanup is not None:
+            self._inline_cleanup()
+        return results
+
+    def _collect(self, pool, handles, results, done) -> Optional[str]:
+        """Reap ``handles`` into ``results``; ``None`` on success, else the
+        failure reason (with ``handles`` reduced to the unreaped shards)."""
+        deadline = (
+            time.monotonic() + self._timeout if self._timeout is not None else None
+        )
+        while handles:
+            progressed = False
+            for shard in list(handles):
+                handle = handles[shard]
+                if handle.ready():
+                    del handles[shard]
+                    # a deterministic job exception propagates unchanged --
+                    # it would recur on every retry, exactly like pool.map
+                    results[shard] = handle.get()
+                    done[shard] = True
+                    progressed = True
+            if progressed:
+                if deadline is not None:
+                    deadline = time.monotonic() + self._timeout
+                continue
+            if not handles:
+                break
+            damage = self._pool_damage(pool)
+            if damage is not None:
+                return damage
+            if deadline is not None and time.monotonic() > deadline:
+                return f"no shard progress within {self._timeout}s"
+            next(iter(handles.values())).wait(self._poll_interval)
+        return None
+
+    def _pool_damage(self, pool) -> Optional[str]:
+        """Why the pool can no longer be trusted to deliver, or ``None``."""
+        state = getattr(pool, "_state", mp_pool.RUN)
+        if state != mp_pool.RUN:
+            return f"pool left running state ({state})"
+        workers = list(getattr(pool, "_pool", []) or [])
+        for process in workers:
+            if process.exitcode is not None:
+                return f"worker pid {process.pid} died with exitcode {process.exitcode}"
+        pids = frozenset(p.pid for p in workers)
+        if pids != self._pool_pids:
+            # the pool quietly replaced dead workers; their in-flight
+            # shards are lost and will never become ready
+            lost = sorted(self._pool_pids - pids)
+            return f"worker pid(s) {lost} were replaced after dying"
+        return None

@@ -56,7 +56,11 @@ def shm_segments():
     """The POSIX shared-memory segments currently alive (None if unobservable)."""
     if not os.path.isdir("/dev/shm"):
         return None
-    return sorted(name for name in os.listdir("/dev/shm") if name.startswith("psm_"))
+    return sorted(
+        name
+        for name in os.listdir("/dev/shm")
+        if name.startswith("psm_") or name.startswith("repro-")
+    )
 
 
 @pytest.fixture(scope="module")
